@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark/reproduction suite.
+
+Every paper artifact (Figs. 1-7) has a ``test_figN_*`` module that
+*regenerates* the artifact and checks it against the paper; the
+``test_perf_*`` modules measure the implied performance behaviours
+(scaling, transform throughput, placement).  pytest-benchmark provides
+the timing tables; the ``report`` fixture additionally appends the
+regenerated artifacts and measured series to ``benchmarks/out/`` so
+EXPERIMENTS.md can reference concrete files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+class Reporter:
+    """Accumulates lines for one experiment and writes them on close."""
+
+    def __init__(self, name: str, directory: Path) -> None:
+        self.name = name
+        self.path = directory / f"{name}.txt"
+        self.lines: list[str] = []
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def table(self, headers: list[str], rows: list[list]) -> None:
+        widths = [
+            max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+            for i, h in enumerate(headers)
+        ]
+        self.line("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+        self.line("  ".join("-" * w for w in widths))
+        for row in rows:
+            self.line("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+
+    def close(self) -> None:
+        self.path.write_text("\n".join(self.lines) + "\n")
+
+
+@pytest.fixture
+def report(request, out_dir):
+    reporter = Reporter(request.node.name.replace("/", "_"), out_dir)
+    yield reporter
+    reporter.close()

@@ -1,0 +1,110 @@
+"""Ablation -- fault tolerance: retry overhead and recovery behaviour.
+
+Quantifies the ``<retries>`` extension: what does a retry budget cost
+when nothing fails (bookkeeping only), and what does recovery cost when
+tasks do fail transiently?  The shape to verify: zero-failure overhead
+is negligible, recovery cost scales with the number of failed attempts
+(each pays one extra placement + execution), and the job outcome flips
+from failure to success exactly when the budget covers the failures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+
+import pytest
+
+from repro.cn import CNAPI, Cluster, Task, TaskFailedError, TaskRegistry, TaskSpec
+
+
+class Reliable(Task):
+    def __init__(self, *params):
+        pass
+
+    def run(self, ctx):
+        return "ok"
+
+
+class FailsNTimes(Task):
+    """Fails a configured number of times per task name, then succeeds."""
+
+    counters: dict[str, "itertools.count"] = {}
+    failures = 0
+    lock = threading.Lock()
+
+    def __init__(self, *params):
+        pass
+
+    def run(self, ctx):
+        with FailsNTimes.lock:
+            counter = FailsNTimes.counters.setdefault(
+                ctx.task_name, itertools.count(1)
+            )
+            attempt = next(counter)
+        if attempt <= FailsNTimes.failures:
+            raise RuntimeError(f"injected failure {attempt}")
+        return f"ok after {attempt}"
+
+
+def registry() -> TaskRegistry:
+    r = TaskRegistry()
+    r.register_class("ok.jar", "b.Reliable", Reliable)
+    r.register_class("fail.jar", "b.FailsNTimes", FailsNTimes)
+    return r
+
+
+def run_job(cluster, *, tasks=8, retries=0, jar="ok.jar", cls="b.Reliable"):
+    api = CNAPI.initialize(cluster)
+    handle = api.create_job("bench")
+    for i in range(tasks):
+        api.create_task(
+            handle,
+            TaskSpec(name=f"t{i}", jar=jar, cls=cls, memory=10, max_retries=retries),
+        )
+    api.start_job(handle)
+    return api.wait(handle, timeout=60), handle
+
+
+@pytest.mark.parametrize("retries", [0, 3])
+def test_bench_no_failure_overhead(benchmark, retries):
+    """A retry budget must cost ~nothing when tasks never fail."""
+    with Cluster(2, registry=registry(), memory_per_node=10**6) as cluster:
+        benchmark.pedantic(
+            lambda: run_job(cluster, retries=retries), rounds=3, iterations=1
+        )
+
+
+def test_recovery_cost_report(report):
+    rows = []
+    for injected_failures in (0, 1, 2):
+        FailsNTimes.counters = {}
+        FailsNTimes.failures = injected_failures
+        with Cluster(2, registry=registry(), memory_per_node=10**6) as cluster:
+            start = time.perf_counter()
+            results, handle = run_job(
+                cluster, tasks=4, retries=2, jar="fail.jar", cls="b.FailsNTimes"
+            )
+            elapsed = time.perf_counter() - start
+        attempts = sum(handle.job.task(f"t{i}").attempts for i in range(4))
+        rows.append([injected_failures, attempts, f"{elapsed * 1000:.1f} ms"])
+        assert len(results) == 4
+    report.line("ABLATION -- retry recovery cost (4 tasks, retries=2)")
+    report.line()
+    report.table(["injected failures/task", "total attempts", "wall-clock"], rows)
+    # each injected failure adds exactly one attempt per task
+    assert [r[1] for r in rows] == [4, 8, 12]
+
+
+def test_budget_boundary():
+    """retries = failures succeeds; retries = failures - 1 fails."""
+    FailsNTimes.counters = {}
+    FailsNTimes.failures = 2
+    with Cluster(2, registry=registry(), memory_per_node=10**6) as cluster:
+        results, _ = run_job(cluster, tasks=2, retries=2, jar="fail.jar", cls="b.FailsNTimes")
+        assert all(v.startswith("ok after") for v in results.values())
+    FailsNTimes.counters = {}
+    with Cluster(2, registry=registry(), memory_per_node=10**6) as cluster:
+        with pytest.raises(TaskFailedError):
+            run_job(cluster, tasks=2, retries=1, jar="fail.jar", cls="b.FailsNTimes")

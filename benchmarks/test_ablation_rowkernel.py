@@ -1,0 +1,81 @@
+"""Ablation -- worker row kernel: numpy min-plus vs pure-Python loops.
+
+DESIGN.md calls out the TCTask inner update (``dist[i][j] = min(dist[i][j],
+dist[i][k] + dist[k][j])`` over the worker's row block) as a design
+choice: the shipped worker uses the vectorized numpy form.  This bench
+quantifies that choice on the serial kernels (identical math, isolated
+from cluster noise) and asserts both agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.floyd.serial import (
+    floyd_warshall,
+    floyd_warshall_numpy,
+    random_weighted_graph,
+    transitive_closure,
+    transitive_closure_numpy,
+)
+
+N = 64
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return random_weighted_graph(N, seed=11)
+
+
+@pytest.fixture(scope="module")
+def adjacency():
+    from repro.apps.floyd.serial import random_adjacency
+
+    return random_adjacency(N, seed=11)
+
+
+def test_bench_rowkernel_python(benchmark, matrix):
+    result = benchmark.pedantic(floyd_warshall, args=(matrix,), rounds=3, iterations=1)
+    assert result[0][0] == 0.0
+
+
+def test_bench_rowkernel_numpy(benchmark, matrix):
+    result = benchmark(floyd_warshall_numpy, matrix)
+    assert result[0][0] == 0.0
+
+
+def test_bench_closure_python(benchmark, adjacency):
+    benchmark.pedantic(transitive_closure, args=(adjacency,), rounds=3, iterations=1)
+
+
+def test_bench_closure_numpy(benchmark, adjacency):
+    benchmark(transitive_closure_numpy, adjacency)
+
+
+def test_kernels_agree(matrix, adjacency):
+    assert np.allclose(floyd_warshall(matrix), floyd_warshall_numpy(matrix))
+    assert np.array_equal(
+        np.array(transitive_closure(adjacency)), transitive_closure_numpy(adjacency)
+    )
+
+
+def test_numpy_speedup_report(matrix, report):
+    import time
+
+    start = time.perf_counter()
+    floyd_warshall(matrix)
+    python_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    floyd_warshall_numpy(matrix)
+    numpy_seconds = time.perf_counter() - start
+    report.line(f"ABLATION -- row kernel at N={N}")
+    report.line()
+    report.table(
+        ["kernel", "seconds", "speedup"],
+        [
+            ["pure Python", f"{python_seconds:.4f}", "1.0x"],
+            ["numpy min-plus", f"{numpy_seconds:.4f}", f"{python_seconds / numpy_seconds:.1f}x"],
+        ],
+    )
+    assert numpy_seconds < python_seconds, "vectorized kernel should win at N=64"

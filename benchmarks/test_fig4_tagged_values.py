@@ -1,0 +1,92 @@
+"""FIG4 -- paper Fig. 4: "Tagged values for TCTask2".
+
+The paper configures task TCTask2 with exactly these tagged values:
+
+    jar       tctask.jar
+    class     org.jhpc.cn2.trnsclsrtask.TCTask
+    memory    1000
+    runmodel  RUN AS THREAD IN TM
+    ptype0    java.lang.Integer
+    pvalue0   2
+
+We regenerate the tag set on the Fig. 3 model's second worker, assert
+value-for-value equality, and verify the tags survive the XMI roundtrip
+(they are what Fig. 7 serializes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.uml import ActivityBuilder, CNProfile
+from repro.core.xmi import read_graphs, write_graph
+
+PAPER_FIG4 = {
+    "jar": "tctask.jar",
+    "class": "org.jhpc.cn2.trnsclsrtask.TCTask",
+    "memory": "1000",
+    "runmodel": "RUN_AS_THREAD_IN_TM",
+    "ptype0": "java.lang.Integer",
+    "pvalue0": "2",
+}
+
+
+def tctask2_graph():
+    """A model whose TCTask2 carries the paper's exact tag set (including
+    the Java-style parameter type name the paper shows)."""
+    b = ActivityBuilder("TransClosure")
+    split = b.task("TaskSplit", jar="tasksplit.jar",
+                   cls="org.jhpc.cn2.transcloser.TaskSplit",
+                   params=[("String", "matrix.txt")])
+    workers = [
+        b.task(f"TCTask{i}", jar="tctask.jar",
+               cls="org.jhpc.cn2.trnsclsrtask.TCTask",
+               params=[("java.lang.Integer", str(i))])
+        for i in range(1, 6)
+    ]
+    join = b.task("TCJoin", jar="taskjoin.jar",
+                  cls="org.jhpc.cn2.transcloser.TaskJoin",
+                  params=[("String", "matrix.txt")])
+    b.chain(b.initial(), split)
+    b.fan_out_in(split, workers, join)
+    b.chain(join, b.final())
+    return b.build()
+
+
+class TestFig4:
+    def test_tag_set_matches_paper(self):
+        graph = tctask2_graph()
+        assert graph.find("TCTask2").tags_dict() == PAPER_FIG4
+
+    def test_param_extraction(self):
+        graph = tctask2_graph()
+        assert CNProfile.params(graph.find("TCTask2")) == [("java.lang.Integer", "2")]
+
+    def test_tags_survive_xmi_roundtrip(self):
+        graph = tctask2_graph()
+        restored = read_graphs(write_graph(graph))[0]
+        assert restored.find("TCTask2").tags_dict() == PAPER_FIG4
+
+    def test_tag_order_matches_figure(self):
+        # Fig. 4 lists jar, class, memory, runmodel, ptype0, pvalue0
+        graph = tctask2_graph()
+        names = [tv.name for tv in graph.find("TCTask2").tagged_values]
+        assert names == ["jar", "class", "memory", "runmodel", "ptype0", "pvalue0"]
+
+    def test_report(self, report):
+        graph = tctask2_graph()
+        report.line("FIG4 -- tagged values for TCTask2 (paper Fig. 4)")
+        report.line()
+        report.table(
+            ["tag", "value"],
+            [[tv.name, tv.value] for tv in graph.find("TCTask2").tagged_values],
+        )
+
+
+def test_bench_fig4_tag_roundtrip(benchmark):
+    graph = tctask2_graph()
+
+    def roundtrip():
+        return read_graphs(write_graph(graph))[0].find("TCTask2").tags_dict()
+
+    assert benchmark(roundtrip) == PAPER_FIG4

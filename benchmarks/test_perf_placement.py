@@ -1,0 +1,92 @@
+"""PERF3 -- multicast discovery & placement cost across cluster sizes.
+
+Paper section 3: job creation multicasts a solicitation, willing
+JobManagers respond, one is selected; each task then solicits
+TaskManagers.  The implied behaviour to measure: discovery cost grows
+with subnet size (every node sees every solicitation) while placement
+spreads tasks across nodes.  We sweep cluster sizes, count bus traffic,
+and benchmark end-to-end job setup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cn import CNAPI, Cluster, TaskRegistry, TaskSpec
+from repro.cn.task import Task
+
+
+class Noop(Task):
+    def __init__(self, *params):
+        pass
+
+    def run(self, ctx):
+        return "ok"
+
+
+def registry():
+    r = TaskRegistry()
+    r.register_class("noop.jar", "bench.Noop", Noop)
+    return r
+
+
+def spec(name):
+    return TaskSpec(name=name, jar="noop.jar", cls="bench.Noop", memory=10)
+
+
+def create_job_with_tasks(cluster, n_tasks):
+    api = CNAPI.initialize(cluster)
+    handle = api.create_job("bench")
+    for i in range(n_tasks):
+        api.create_task(handle, spec(f"t{i}"))
+    return handle
+
+
+@pytest.mark.parametrize("nodes", [2, 8, 32])
+def test_bench_placement(benchmark, nodes):
+    with Cluster(nodes, registry=registry(), memory_per_node=10**6) as cluster:
+        benchmark.pedantic(
+            create_job_with_tasks,
+            args=(cluster, 16),
+            rounds=3,
+            iterations=1,
+        )
+
+
+def test_bus_traffic_scales_with_nodes(report):
+    rows = []
+    for nodes in (2, 8, 32):
+        with Cluster(nodes, registry=registry(), memory_per_node=10**6) as cluster:
+            create_job_with_tasks(cluster, 16)
+            stats = cluster.bus.stats
+            rows.append(
+                [nodes, stats.solicitations, stats.deliveries, stats.responses]
+            )
+    report.line("PERF3 -- multicast traffic for 1 job + 16 task placements")
+    report.line()
+    report.table(["nodes", "solicitations", "deliveries", "responses"], rows)
+    # deliveries = solicitations x nodes: discovery cost grows linearly
+    for (nodes, solicitations, deliveries, _) in rows:
+        assert deliveries == solicitations * nodes
+    assert rows[0][2] < rows[1][2] < rows[2][2]
+
+
+def test_placement_spreads_load(report):
+    with Cluster(8, registry=registry(), memory_per_node=10**6) as cluster:
+        handle = create_job_with_tasks(cluster, 64)
+        nodes = [handle.job.task(f"t{i}").node_name for i in range(64)]
+        counts = {n: nodes.count(n) for n in sorted(set(nodes))}
+    report.line("PERF3 -- 64 equal tasks over 8 nodes (best-fit placement)")
+    report.line()
+    report.table(["taskmanager", "tasks placed"], list(counts.items()))
+    assert len(counts) == 8, "placement failed to use all nodes"
+    assert max(counts.values()) - min(counts.values()) <= 1, counts
+
+
+def test_simulated_latency_accounting():
+    with Cluster(4, registry=registry(), per_hop_latency=0.002) as cluster:
+        create_job_with_tasks(cluster, 4)
+        stats = cluster.bus.stats
+        assert stats.simulated_latency == pytest.approx(
+            stats.deliveries * 0.002
+        )

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Inspecting a job's execution trace.
+
+CN delivers every lifecycle message to the client queue; the trace
+module condenses that stream into per-task summaries and an ASCII
+timeline -- the text analogue of a scheduler Gantt chart.  This example
+runs a diamond-shaped job with one flaky task (retried once) and prints
+the collected trace.
+
+Run:  python examples/trace_inspection.py
+"""
+
+import itertools
+import threading
+
+from repro.cn import (
+    CNAPI,
+    Cluster,
+    Task,
+    TaskRegistry,
+    TaskSpec,
+    collect_trace,
+    render_timeline,
+)
+
+_attempts = itertools.count(1)
+_lock = threading.Lock()
+
+
+class Quick(Task):
+    def __init__(self, *params):
+        pass
+
+    def run(self, ctx):
+        return ctx.task_name
+
+
+class FlakyOnce(Task):
+    def __init__(self, *params):
+        pass
+
+    def run(self, ctx):
+        with _lock:
+            attempt = next(_attempts)
+        if attempt == 1:
+            raise RuntimeError("transient wobble")
+        return ctx.task_name
+
+
+def main() -> None:
+    registry = TaskRegistry()
+    registry.register_class("quick.jar", "demo.Quick", Quick)
+    registry.register_class("flaky.jar", "demo.FlakyOnce", FlakyOnce)
+
+    with Cluster(3, registry=registry) as cluster:
+        api = CNAPI.initialize(cluster)
+        handle = api.create_job("TraceDemo")
+        api.create_task(handle, TaskSpec("fetch", "quick.jar", "demo.Quick"))
+        api.create_task(
+            handle,
+            TaskSpec("parse", "flaky.jar", "demo.FlakyOnce",
+                     depends=("fetch",), max_retries=2),
+        )
+        api.create_task(
+            handle, TaskSpec("index", "quick.jar", "demo.Quick", depends=("fetch",))
+        )
+        api.create_task(
+            handle,
+            TaskSpec("publish", "quick.jar", "demo.Quick", depends=("parse", "index")),
+        )
+        api.start_job(handle)
+        api.wait(handle, timeout=30)
+
+        trace = collect_trace(handle)
+        print(render_timeline(trace))
+        print(f"communication: {handle.job.messages_routed} messages, "
+              f"{handle.job.payload_bytes} payload bytes")
+        problems = trace.consistency_problems()
+        print(f"trace consistency: {'OK' if not problems else problems}")
+
+
+if __name__ == "__main__":
+    main()

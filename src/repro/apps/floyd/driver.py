@@ -1,0 +1,123 @@
+"""High-level drivers for the transitive-closure / APSP guiding example.
+
+:func:`register_floyd_tasks` binds the paper's jar/class vocabulary to
+the Python task implementations; :func:`run_parallel_floyd` runs the
+whole Fig. 6 pipeline (model -> XMI -> CNX -> generated client ->
+cluster execution) and returns the distance matrix; helpers for the
+dynamic (Fig. 5) variant and for tuple-space-based coordination round
+out the API the examples and benchmarks use.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Optional, Sequence
+
+from repro.cn.cluster import Cluster
+from repro.cn.registry import TaskRegistry
+from repro.core.transform.pipeline import Pipeline, PipelineResult
+
+from .io import store_matrix
+from .model import (
+    JOIN_CLASS,
+    JOIN_JAR,
+    SPLIT_CLASS,
+    SPLIT_JAR,
+    WORKER_CLASS,
+    WORKER_JAR,
+    build_fig3_model,
+    build_fig5_model,
+)
+from .tasks import TaskSplit, TCJoin, TCTask
+
+__all__ = [
+    "register_floyd_tasks",
+    "floyd_registry",
+    "run_parallel_floyd",
+    "run_parallel_floyd_dynamic",
+]
+
+_store_counter = itertools.count(1)
+_store_lock = threading.Lock()
+
+
+def _fresh_store_key(prefix: str) -> str:
+    with _store_lock:
+        return f"{prefix}-{next(_store_counter)}"
+
+
+def register_floyd_tasks(registry: TaskRegistry) -> TaskRegistry:
+    """Bind the Fig. 2 jar/class names to the Python implementations."""
+    registry.register_class(SPLIT_JAR, SPLIT_CLASS, TaskSplit)
+    registry.register_class(WORKER_JAR, WORKER_CLASS, TCTask)
+    registry.register_class(JOIN_JAR, JOIN_CLASS, TCJoin)
+    return registry
+
+
+def floyd_registry() -> TaskRegistry:
+    """A fresh registry with the Floyd tasks bound."""
+    return register_floyd_tasks(TaskRegistry())
+
+
+def run_parallel_floyd(
+    matrix: Sequence[Sequence[float]],
+    *,
+    n_workers: int = 5,
+    cluster: Optional[Cluster] = None,
+    transform: str = "xslt",
+    mode: str = "shortest",
+    timeout: float = 120.0,
+) -> tuple[list[list[float]], PipelineResult]:
+    """Full pipeline run of the Fig. 3 job on *matrix*.
+
+    Returns ``(result_matrix, pipeline_result)``.  The input is staged in
+    the matrix store so no files touch disk."""
+    key = _fresh_store_key("floyd")
+    source = store_matrix(key, matrix)
+    graph = build_fig3_model(
+        n_workers=n_workers, matrix_source=source, sink="", mode=mode
+    )
+    return _execute(graph, cluster, transform, timeout, runtime_args=None,
+                    joiner="tctask999")
+
+
+def run_parallel_floyd_dynamic(
+    matrix: Sequence[Sequence[float]],
+    *,
+    n_workers: int = 5,
+    cluster: Optional[Cluster] = None,
+    transform: str = "xslt",
+    mode: str = "shortest",
+    timeout: float = 120.0,
+) -> tuple[list[list[float]], PipelineResult]:
+    """Full pipeline run of the Fig. 5 (dynamic invocation) job: the
+    worker count is bound at run time through ``runtime_args``."""
+    key = _fresh_store_key("floyd-dyn")
+    source = store_matrix(key, matrix)
+    graph = build_fig5_model(matrix_source=source, sink="", mode=mode)
+    return _execute(
+        graph,
+        cluster,
+        transform,
+        timeout,
+        runtime_args={"n_workers": n_workers},
+        joiner="taskjoin",
+    )
+
+
+def _execute(graph, cluster, transform, timeout, runtime_args, joiner):
+    pipeline = Pipeline(transform=transform)
+    owns = cluster is None
+    if owns:
+        cluster = Cluster(4, registry=floyd_registry())
+    else:
+        register_floyd_tasks(cluster.registry)
+    try:
+        outcome = pipeline.run(
+            graph, cluster, runtime_args=runtime_args, timeout=timeout
+        )
+    finally:
+        if owns:
+            cluster.shutdown()
+    return outcome.results[joiner], outcome

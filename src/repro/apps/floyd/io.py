@@ -1,0 +1,98 @@
+"""matrix.txt I/O and the in-memory matrix store.
+
+The Fig. 2 descriptor passes ``matrix.txt`` to TaskSplit and TaskJoin.
+We honor that contract: :func:`read_matrix`/:func:`write_matrix` handle
+the file format (first line is N, then N whitespace-separated rows with
+``inf`` for absent edges).
+
+Tests and benchmarks want to avoid disk, so a parameter value of the
+form ``store:<key>`` resolves against the process-wide
+:class:`MatrixStore` instead -- the descriptor stays exactly the same
+shape, only the "file name" differs.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from pathlib import Path
+from typing import Sequence, Union
+
+__all__ = ["read_matrix", "write_matrix", "MatrixStore", "resolve_matrix", "store_matrix"]
+
+Matrix = list[list[float]]
+
+
+def write_matrix(path: Union[str, Path], matrix: Sequence[Sequence[float]]) -> None:
+    """Write *matrix* in matrix.txt format."""
+    lines = [str(len(matrix))]
+    for row in matrix:
+        lines.append(" ".join("inf" if math.isinf(v) else repr(float(v)) for v in row))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_matrix(path: Union[str, Path]) -> Matrix:
+    """Read a matrix.txt file."""
+    text = Path(path).read_text()
+    tokens = text.split()
+    if not tokens:
+        raise ValueError(f"{path}: empty matrix file")
+    n = int(tokens[0])
+    values = tokens[1:]
+    if len(values) != n * n:
+        raise ValueError(f"{path}: expected {n * n} values, found {len(values)}")
+    matrix: Matrix = []
+    it = iter(values)
+    for _ in range(n):
+        matrix.append([float(next(it)) for _ in range(n)])
+    return matrix
+
+
+class MatrixStore:
+    """Process-wide named matrix registry (thread-safe singleton)."""
+
+    _instance: "MatrixStore" = None  # type: ignore[assignment]
+    _instance_lock = threading.Lock()
+
+    def __init__(self) -> None:
+        self._data: dict[str, Matrix] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def instance(cls) -> "MatrixStore":
+        with cls._instance_lock:
+            if cls._instance is None:
+                cls._instance = cls()
+            return cls._instance
+
+    def put(self, key: str, matrix: Sequence[Sequence[float]]) -> str:
+        with self._lock:
+            self._data[key] = [list(map(float, row)) for row in matrix]
+        return f"store:{key}"
+
+    def get(self, key: str) -> Matrix:
+        with self._lock:
+            try:
+                return [row[:] for row in self._data[key]]
+            except KeyError:
+                raise KeyError(f"no matrix stored under {key!r}") from None
+
+    def pop(self, key: str) -> Matrix:
+        with self._lock:
+            return self._data.pop(key)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+def store_matrix(key: str, matrix: Sequence[Sequence[float]]) -> str:
+    """Stash *matrix* under *key*; returns the ``store:<key>`` source string."""
+    return MatrixStore.instance().put(key, matrix)
+
+
+def resolve_matrix(source: str) -> Matrix:
+    """Resolve a TaskSplit parameter: ``store:<key>`` or a file path."""
+    if source.startswith("store:"):
+        return MatrixStore.instance().get(source[len("store:") :])
+    return read_matrix(source)

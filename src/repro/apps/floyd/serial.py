@@ -1,0 +1,132 @@
+"""Serial baselines for all-pairs shortest paths / transitive closure.
+
+Floyd's algorithm (Floyd, "Algorithm 97: Shortest Path", CACM 1962 --
+the paper's reference [8]) in three flavors:
+
+* :func:`floyd_warshall` -- textbook triple loop (pure Python), the
+  reference implementation tests compare against,
+* :func:`floyd_warshall_numpy` -- row-vectorized numpy version, the
+  fast baseline for benchmarks (and the kernel the parallel workers use
+  per row block),
+* :func:`transitive_closure` / :func:`transitive_closure_numpy` -- the
+  boolean-reachability variant (the paper calls its guiding example the
+  "transitive closure algorithm").
+
+Matrices are dense ``n x n``; ``math.inf`` marks absent edges for the
+shortest-path variant, ``0``/``1`` adjacency for closure.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "INF",
+    "floyd_warshall",
+    "floyd_warshall_numpy",
+    "transitive_closure",
+    "transitive_closure_numpy",
+    "random_weighted_graph",
+    "random_adjacency",
+    "as_distance_matrix",
+]
+
+INF = math.inf
+
+
+def as_distance_matrix(matrix: Sequence[Sequence[float]]) -> list[list[float]]:
+    """Copy *matrix* into list-of-lists form with a zero diagonal."""
+    n = len(matrix)
+    out = [[float(matrix[i][j]) for j in range(n)] for i in range(n)]
+    for i in range(n):
+        out[i][i] = min(out[i][i], 0.0)
+    return out
+
+
+def floyd_warshall(matrix: Sequence[Sequence[float]]) -> list[list[float]]:
+    """All-pairs shortest path distances, O(n^3) reference implementation.
+
+    Derives S in N steps, constructing at each step k the intermediate
+    matrix I(k) of best-known distances (paper section 2).
+    """
+    dist = as_distance_matrix(matrix)
+    n = len(dist)
+    for k in range(n):
+        row_k = dist[k]
+        for i in range(n):
+            row_i = dist[i]
+            d_ik = row_i[k]
+            if d_ik == INF:
+                continue
+            for j in range(n):
+                candidate = d_ik + row_k[j]
+                if candidate < row_i[j]:
+                    row_i[j] = candidate
+    return dist
+
+
+def floyd_warshall_numpy(matrix: Sequence[Sequence[float]]) -> np.ndarray:
+    """Vectorized Floyd: per-k rank-1 min-plus update."""
+    dist = np.array(matrix, dtype=float)
+    n = dist.shape[0]
+    idx = np.arange(n)
+    dist[idx, idx] = np.minimum(dist[idx, idx], 0.0)
+    for k in range(n):
+        # dist = min(dist, dist[:, k, None] + dist[None, k, :])
+        np.minimum(dist, dist[:, k, None] + dist[k, None, :], out=dist)
+    return dist
+
+
+def transitive_closure(adjacency: Sequence[Sequence[int]]) -> list[list[int]]:
+    """Boolean reachability closure via Floyd's recurrence."""
+    n = len(adjacency)
+    reach = [[1 if (adjacency[i][j] or i == j) else 0 for j in range(n)] for i in range(n)]
+    for k in range(n):
+        row_k = reach[k]
+        for i in range(n):
+            row_i = reach[i]
+            if row_i[k]:
+                for j in range(n):
+                    if row_k[j]:
+                        row_i[j] = 1
+    return reach
+
+
+def transitive_closure_numpy(adjacency: Sequence[Sequence[int]]) -> np.ndarray:
+    reach = np.array(adjacency, dtype=bool)
+    n = reach.shape[0]
+    reach |= np.eye(n, dtype=bool)
+    for k in range(n):
+        reach |= reach[:, k, None] & reach[k, None, :]
+    return reach.astype(np.int64)
+
+
+def random_weighted_graph(
+    n: int,
+    *,
+    density: float = 0.3,
+    max_weight: float = 10.0,
+    seed: Optional[int] = None,
+) -> list[list[float]]:
+    """A random directed weighted graph as a distance matrix (INF = no edge)."""
+    rng = random.Random(seed)
+    matrix = [[INF] * n for _ in range(n)]
+    for i in range(n):
+        matrix[i][i] = 0.0
+        for j in range(n):
+            if i != j and rng.random() < density:
+                matrix[i][j] = round(rng.uniform(1.0, max_weight), 3)
+    return matrix
+
+
+def random_adjacency(n: int, *, density: float = 0.3, seed: Optional[int] = None) -> list[list[int]]:
+    """A random directed 0/1 adjacency matrix."""
+    rng = random.Random(seed)
+    return [
+        [1 if i != j and rng.random() < density else 0 for j in range(n)]
+        for i in range(n)
+    ]

@@ -1,0 +1,192 @@
+"""The three CN tasks of the guiding example (paper section 2).
+
+"The CN implementation of the transitive closure algorithm consists of
+three different tasks.  The first task, TaskSplit, reads the input and
+initializes the worker tasks, TCTask, with the appropriate rows.  Each
+of the TCTask workers keeps track of k, and the tasks coordinate among
+themselves using the CNAPI for intertask communication. ... The
+collation of the results is done by yet another task named TCJoin."
+
+Protocol (all user-defined messages, CN merely delivers them):
+
+* TaskSplit -> each worker:   ``("rows", start, block, n, worker_names, mode)``
+  where *block* is the worker's contiguous row slice of the distance
+  matrix (row-wise 1-D domain decomposition).
+* worker -> other workers:    ``("row", k, row_k)`` -- in step k, the
+  task owning row k broadcasts it (paper: "in the kth iteration have
+  the task with the kth row broadcast it").
+* worker -> joiner:           ``("result", start, block)``.
+
+Workers discover each other and the joiner from the dependency DAG the
+TaskContext exposes -- no name patterns are assumed, so the same classes
+serve the explicit (Fig. 3) and dynamic (Fig. 5) compositions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.cn.messages import Message
+from repro.cn.task import Task, TaskContext
+
+from .io import resolve_matrix, write_matrix
+
+__all__ = ["TaskSplit", "TCTask", "TCJoin", "partition_rows"]
+
+MODE_SHORTEST = "shortest"
+MODE_CLOSURE = "closure"
+
+
+def partition_rows(n: int, workers: int) -> list[tuple[int, int]]:
+    """Balanced contiguous ``[start, end)`` row ranges, one per worker.
+
+    The first ``n % workers`` workers receive one extra row, matching the
+    usual block distribution; degenerates gracefully when workers > n
+    (surplus workers get empty ranges and act as no-ops)."""
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    base, extra = divmod(n, workers)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for w in range(workers):
+        size = base + (1 if w < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+class TaskSplit(Task):
+    """Reads the input matrix and initializes the workers with their rows.
+
+    Parameters (from CNX): ``source`` -- matrix.txt path or ``store:key``;
+    optional ``mode`` -- ``shortest`` (default) or ``closure``.
+    """
+
+    def __init__(self, source: str, mode: str = MODE_SHORTEST) -> None:
+        self.source = source
+        self.mode = mode
+
+    def run(self, ctx: TaskContext) -> dict:
+        matrix = resolve_matrix(self.source)
+        n = len(matrix)
+        workers = sorted(ctx.my_dependents())
+        if not workers:
+            raise RuntimeError("TaskSplit has no dependent workers")
+        ranges = partition_rows(n, len(workers))
+        dist = np.array(matrix, dtype=float)
+        if self.mode == MODE_CLOSURE:
+            dist = (np.isfinite(dist) & (dist != 0)).astype(float)
+            np.fill_diagonal(dist, 1.0)
+        else:
+            idx = np.arange(n)
+            dist[idx, idx] = np.minimum(dist[idx, idx], 0.0)
+        for worker, (start, end) in zip(workers, ranges):
+            ctx.send(
+                worker,
+                ("rows", start, dist[start:end].copy(), n, list(workers), self.mode),
+            )
+        return {"n": n, "workers": len(workers), "mode": self.mode}
+
+
+def _owner_of_row(k: int, ranges: list[tuple[int, int]]) -> int:
+    for index, (start, end) in enumerate(ranges):
+        if start <= k < end:
+            return index
+    raise ValueError(f"row {k} outside all ranges {ranges}")
+
+
+class TCTask(Task):
+    """One worker: owns a row block, participates in the k-loop.
+
+    Parameter (from CNX, Fig. 4): the worker's 1-based index -- kept for
+    fidelity with the paper's descriptors and used as a sanity check
+    against the DAG-derived role; coordination itself relies on the
+    roster received from TaskSplit.
+    """
+
+    def __init__(self, index: Optional[int] = None) -> None:
+        self.index = index
+
+    def run(self, ctx: TaskContext) -> dict:
+        init = ctx.recv_matching(
+            lambda m: m.is_user() and m.payload[0] == "rows", timeout=60.0
+        )
+        _, start, block, n, workers, mode = init.payload
+        block = np.array(block, dtype=float)
+        me = workers.index(ctx.task_name)
+        ranges = partition_rows(n, len(workers))
+        my_start, my_end = ranges[me]
+        assert (my_start, my_end) == (start, start + block.shape[0])
+
+        closure = mode == MODE_CLOSURE
+        if not block.size:
+            # surplus worker (workers > n): owns no rows, receives no
+            # broadcasts (owners skip empty ranges), contributes an empty
+            # block so the joiner's bookkeeping stays uniform
+            for joiner in ctx.my_dependents():
+                ctx.send(joiner, ("result", my_start, block.copy()))
+            return {"rows": 0, "start": int(my_start)}
+        for k in range(n):
+            owner = _owner_of_row(k, ranges)
+            if owner == me:
+                row_k = block[k - my_start].copy()
+                for peer_index, peer in enumerate(workers):
+                    if peer_index != me and ranges[peer_index][0] < ranges[peer_index][1]:
+                        ctx.send(peer, ("row", k, row_k))
+            else:
+                message = ctx.recv_matching(
+                    lambda m, _k=k: m.is_user()
+                    and m.payload[0] == "row"
+                    and m.payload[1] == _k,
+                    timeout=60.0,
+                )
+                row_k = message.payload[2]
+            if block.size:
+                if closure:
+                    # boolean closure: reach[i][j] |= reach[i][k] & reach[k][j]
+                    has_k = block[:, k] > 0
+                    block[has_k] = np.maximum(block[has_k], (row_k > 0).astype(float))
+                else:
+                    np.minimum(block, block[:, k, None] + row_k[None, :], out=block)
+        for joiner in ctx.my_dependents():
+            ctx.send(joiner, ("result", my_start, block.copy()))
+        return {"rows": int(block.shape[0]), "start": int(my_start)}
+
+
+class TCJoin(Task):
+    """Collates the worker blocks into the result matrix S.
+
+    Parameter (from CNX): the output sink -- a file path to write the
+    result to, a ``store:`` key (result only returned), or empty.
+    The assembled matrix is also the task's result value, which is how
+    the generated client obtains it.
+    """
+
+    def __init__(self, sink: str = "") -> None:
+        self.sink = sink
+
+    def run(self, ctx: TaskContext) -> list[list[float]]:
+        workers = sorted(ctx.my_dependencies())
+        pieces: dict[int, np.ndarray] = {}
+        expected = len(workers)
+        received = 0
+        while received < expected:
+            message = ctx.recv_matching(
+                lambda m: m.is_user() and m.payload[0] == "result", timeout=60.0
+            )
+            received += 1
+            _, start, block = message.payload
+            block = np.array(block, dtype=float)
+            if block.size:
+                # non-empty blocks have unique starts; surplus workers
+                # (workers > n) all report an empty block at start == n
+                pieces[start] = block
+        ordered = [pieces[s] for s in sorted(pieces)]
+        result = np.vstack(ordered) if ordered else np.zeros((0, 0))
+        matrix = [list(map(float, row)) for row in result]
+        if self.sink and not self.sink.startswith("store:"):
+            write_matrix(self.sink, matrix)
+        return matrix

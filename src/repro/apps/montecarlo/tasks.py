@@ -1,0 +1,94 @@
+"""Monte Carlo pi estimation as a CN job (second example workload).
+
+Same split/worker/join composition shape as the guiding example, but a
+different coordination pattern: the splitter hands each worker an
+independent sub-experiment (seed + sample count), the workers never talk
+to each other, and the joiner reduces the hit counts into the final
+estimate.  Exercises the CN messaging layer with purely client-shaped
+traffic and deterministic seeding (results are reproducible for a fixed
+seed regardless of scheduling).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cn.task import Task, TaskContext
+
+__all__ = ["PiSplit", "PiWorker", "PiJoin", "estimate_pi_serial"]
+
+
+def estimate_pi_serial(samples: int, seed: int = 0) -> float:
+    """Single-threaded baseline: same generator, same estimate."""
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(samples):
+        x, y = rng.random(), rng.random()
+        if x * x + y * y <= 1.0:
+            hits += 1
+    return 4.0 * hits / samples
+
+
+class PiSplit(Task):
+    """Distributes ``samples`` across the dependent workers.
+
+    Parameters: total sample count, base seed.  Worker w receives
+    ``("chunk", samples_w, seed + w)``; the per-worker derived seeds keep
+    runs reproducible while decorrelating the streams.
+    """
+
+    def __init__(self, samples: int, seed: int = 0) -> None:
+        self.samples = int(samples)
+        self.seed = int(seed)
+
+    def run(self, ctx: TaskContext) -> dict:
+        workers = sorted(ctx.my_dependents())
+        if not workers:
+            raise RuntimeError("PiSplit has no dependent workers")
+        base, extra = divmod(self.samples, len(workers))
+        for index, worker in enumerate(workers):
+            count = base + (1 if index < extra else 0)
+            ctx.send(worker, ("chunk", count, self.seed + index + 1))
+        return {"workers": len(workers), "samples": self.samples}
+
+
+class PiWorker(Task):
+    """Samples its chunk and reports ``("hits", count, samples)``."""
+
+    def __init__(self, index: int = 0) -> None:
+        self.index = int(index)
+
+    def run(self, ctx: TaskContext) -> dict:
+        message = ctx.recv_matching(
+            lambda m: m.is_user() and m.payload[0] == "chunk", timeout=30.0
+        )
+        _, samples, seed = message.payload
+        rng = random.Random(seed)
+        hits = 0
+        for _ in range(samples):
+            x, y = rng.random(), rng.random()
+            if x * x + y * y <= 1.0:
+                hits += 1
+        for joiner in ctx.my_dependents():
+            ctx.send(joiner, ("hits", hits, samples))
+        return {"hits": hits, "samples": samples}
+
+
+class PiJoin(Task):
+    """Reduces the worker reports into the final estimate of pi."""
+
+    def __init__(self) -> None:
+        pass
+
+    def run(self, ctx: TaskContext) -> dict:
+        workers = sorted(ctx.my_dependencies())
+        hits = 0
+        samples = 0
+        for _ in workers:
+            message = ctx.recv_matching(
+                lambda m: m.is_user() and m.payload[0] == "hits", timeout=30.0
+            )
+            hits += message.payload[1]
+            samples += message.payload[2]
+        estimate = 4.0 * hits / samples if samples else float("nan")
+        return {"pi": estimate, "hits": hits, "samples": samples}

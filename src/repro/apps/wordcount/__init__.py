@@ -1,0 +1,21 @@
+"""Word count over tuple spaces (work-stealing workload)."""
+
+from .driver import (
+    build_wordcount_model,
+    register_wordcount_tasks,
+    run_parallel_wordcount,
+    wordcount_registry,
+)
+from .tasks import WordMapper, WordReducer, WordSplit, count_words_serial, tokenize_words
+
+__all__ = [
+    "WordSplit",
+    "WordMapper",
+    "WordReducer",
+    "count_words_serial",
+    "tokenize_words",
+    "build_wordcount_model",
+    "register_wordcount_tasks",
+    "wordcount_registry",
+    "run_parallel_wordcount",
+]

@@ -1,0 +1,99 @@
+"""Word count over tuple spaces (third example workload).
+
+Exercises the coordination channel section 3 of the paper mentions but
+does not elaborate: "CN also supports communication via tuple spaces".
+The mappers and the reducer never exchange direct messages -- all data
+flows through the job's tuple space:
+
+* the splitter deposits ``("shard", shard_id, text)`` work tuples and a
+  ``("shards", count)`` control tuple,
+* each mapper withdraws shards (``in_``), counts words, and deposits
+  ``("counts", shard_id, {word: n})``,
+* the reducer withdraws every counts tuple and merges.
+
+Work stealing falls out naturally: mappers pull shards until a poison
+tuple appears, so fast mappers process more shards -- a behaviour the
+channel-ablation benchmark contrasts with static message routing.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Optional
+
+from repro.cn.task import Task, TaskContext
+
+__all__ = ["WordSplit", "WordMapper", "WordReducer", "count_words_serial", "tokenize_words"]
+
+_WORD_RE = re.compile(r"[A-Za-z']+")
+
+POISON = ("shard", -1, "")
+
+
+def tokenize_words(text: str) -> list[str]:
+    return [w.lower() for w in _WORD_RE.findall(text)]
+
+
+def count_words_serial(text: str) -> dict[str, int]:
+    """Single-threaded baseline."""
+    return dict(Counter(tokenize_words(text)))
+
+
+class WordSplit(Task):
+    """Shards the input text into the tuple space.
+
+    Parameters: the text (or ``store:``-style indirection is not needed
+    here -- texts are small), and the shard count."""
+
+    def __init__(self, text: str, shards: int = 8) -> None:
+        self.text = text
+        self.shards = max(1, int(shards))
+
+    def run(self, ctx: TaskContext) -> dict:
+        words = self.text.split()
+        n_mappers = len(ctx.my_dependents())
+        per = max(1, (len(words) + self.shards - 1) // self.shards)
+        shard_count = 0
+        for index in range(0, len(words), per):
+            ctx.tuple_space.out(("shard", shard_count, " ".join(words[index : index + per])))
+            shard_count += 1
+        ctx.tuple_space.out(("shards", shard_count))
+        # one poison pill per mapper ends the steal loop
+        for _ in range(max(n_mappers, 1)):
+            ctx.tuple_space.out(POISON)
+        return {"shards": shard_count}
+
+
+class WordMapper(Task):
+    """Steals shards from the space until poisoned; deposits counts."""
+
+    def __init__(self, index: int = 0) -> None:
+        self.index = int(index)
+
+    def run(self, ctx: TaskContext) -> dict:
+        processed = 0
+        while True:
+            shard = ctx.tuple_space.in_(("shard", None, None), timeout=30.0)
+            _, shard_id, text = shard
+            if shard_id == -1:
+                break
+            counts = dict(Counter(tokenize_words(text)))
+            ctx.tuple_space.out(("counts", shard_id, counts))
+            processed += 1
+        return {"processed": processed}
+
+
+class WordReducer(Task):
+    """Withdraws every counts tuple and merges the final histogram."""
+
+    def __init__(self) -> None:
+        pass
+
+    def run(self, ctx: TaskContext) -> dict[str, int]:
+        expected = ctx.tuple_space.rd(("shards", None), timeout=30.0)[1]
+        merged: Counter = Counter()
+        for _ in range(expected):
+            tup = ctx.tuple_space.in_(("counts", None, None), timeout=30.0)
+            merged.update(tup[2])
+        return dict(merged)

@@ -1,0 +1,82 @@
+"""Computational Neighborhood (CN) runtime: a simulated cluster with the
+paper's architecture -- CNServer servants (JobManager + TaskManager),
+multicast discovery, per-task message queues, task archives, tuple
+spaces, and the client-side CN API facade."""
+
+from .api import CNAPI, JobHandle
+from .archive import TaskArchive, create_archive, load_archive
+from .client import ClientResult, ClientRunner, evaluate_arguments, expand_dynamic_tasks
+from .cluster import Cluster
+from .errors import (
+    ArchiveError,
+    CnError,
+    JobError,
+    MessageTimeout,
+    NoWillingJobManager,
+    NoWillingTaskManager,
+    ShutdownError,
+    TaskFailedError,
+    TaskLoadError,
+    UnknownTaskError,
+)
+from .job import Job, TaskRuntime, TaskSpec, TaskState
+from .jobmanager import JobManager
+from .messages import Message, MessageType, expected_response, is_well_defined
+from .multicast import MulticastBus, Solicitation
+from .queues import MessageQueue
+from .registry import TaskRegistry
+from .runmodel import RunModel
+from .server import CNServer
+from .task import FunctionTask, Task, TaskContext
+from .trace import JobTrace, TaskTrace, TraceEvent, collect_trace, render_timeline
+from .taskmanager import TaskManager
+from .tuplespace import TupleSpace, matches
+
+__all__ = [
+    "CNAPI",
+    "JobHandle",
+    "Cluster",
+    "CNServer",
+    "JobManager",
+    "TaskManager",
+    "TaskRegistry",
+    "TaskArchive",
+    "create_archive",
+    "load_archive",
+    "Task",
+    "TaskContext",
+    "FunctionTask",
+    "JobTrace",
+    "TaskTrace",
+    "TraceEvent",
+    "collect_trace",
+    "render_timeline",
+    "TaskSpec",
+    "TaskState",
+    "TaskRuntime",
+    "Job",
+    "Message",
+    "MessageType",
+    "is_well_defined",
+    "expected_response",
+    "MessageQueue",
+    "MulticastBus",
+    "Solicitation",
+    "TupleSpace",
+    "matches",
+    "RunModel",
+    "ClientRunner",
+    "ClientResult",
+    "expand_dynamic_tasks",
+    "evaluate_arguments",
+    "CnError",
+    "ArchiveError",
+    "TaskLoadError",
+    "NoWillingJobManager",
+    "NoWillingTaskManager",
+    "JobError",
+    "TaskFailedError",
+    "UnknownTaskError",
+    "MessageTimeout",
+    "ShutdownError",
+]

@@ -1,0 +1,139 @@
+"""CN API: the client-side factory (paper section 3).
+
+The client "acquires a reference to the CN API" and through it exercises
+the six capabilities the paper lists:
+
+1. Initialize CN API (using the factory)      -> :meth:`CNAPI.initialize`
+2. Create Job in JobManager                   -> :meth:`CNAPI.create_job`
+3. Create Tasks for the Job                   -> :meth:`CNAPI.create_task`
+4. Start the Tasks                            -> :meth:`CNAPI.start_task` / :meth:`start_job`
+5. Get Messages from Tasks                    -> :meth:`CNAPI.get_message`
+6. Send Messages to Tasks                     -> :meth:`CNAPI.send_message`
+
+Job creation multicasts a solicitation; willing JobManagers respond and
+one is selected by the user-specified requirements (most free job slots,
+then most local free memory, then name for determinism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from .cluster import Cluster
+from .errors import NoWillingJobManager
+from .job import Job, TaskSpec
+from .jobmanager import JobManager
+from .messages import Message, MessageType
+from .multicast import Solicitation
+
+__all__ = ["CNAPI", "JobHandle"]
+
+
+@dataclass
+class JobHandle:
+    """A client's grip on one job: the Job plus its managing JobManager."""
+
+    job: Job
+    manager: JobManager
+
+    @property
+    def job_id(self) -> str:
+        return self.job.job_id
+
+
+class CNAPI:
+    """The client-side facade over a CN cluster."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self._cluster = cluster
+
+    # -- 1. factory -----------------------------------------------------------
+    @classmethod
+    def initialize(cls, cluster: Cluster) -> "CNAPI":
+        """Acquire the CN API for *cluster* (started if necessary)."""
+        cluster.start()
+        return cls(cluster)
+
+    @property
+    def cluster(self) -> Cluster:
+        return self._cluster
+
+    # -- 2. job creation ---------------------------------------------------------
+    def create_job(
+        self,
+        client_name: str,
+        requirements: Optional[Mapping[str, Any]] = None,
+    ) -> JobHandle:
+        """Multicast for willing JobManagers, select one, create the job."""
+        requirements = dict(requirements or {})
+        offers = self._cluster.bus.solicit(
+            Solicitation(kind="jobmanager", requirements=requirements, sender=client_name)
+        )
+        if not offers:
+            raise NoWillingJobManager(
+                f"no JobManager willing to manage a job for {client_name!r}"
+            )
+        prefer = requirements.get("prefer")
+        if prefer is not None:
+            preferred = [o for o in offers if o[0] == prefer]
+            if preferred:
+                offers = preferred
+        offers.sort(
+            key=lambda item: (
+                -item[1]["free_job_slots"],
+                -item[1]["local_free_memory"],
+                item[0],
+            )
+        )
+        node_name = offers[0][0]
+        manager = self._cluster.server(node_name).jobmanager
+        job = manager.create_job(client_name)
+        job.client_queue.put(
+            Message(
+                MessageType.JOB_CREATED,
+                sender=manager.name,
+                recipient="client",
+                payload={"job_id": job.job_id, "manager": manager.name},
+            )
+        )
+        return JobHandle(job, manager)
+
+    # -- 3. task creation ----------------------------------------------------------
+    def create_task(self, handle: JobHandle, spec: TaskSpec) -> None:
+        handle.manager.create_task(handle.job, spec)
+
+    # -- 4. starting ------------------------------------------------------------------
+    def start_task(self, handle: JobHandle, name: str) -> None:
+        handle.manager.start_task(handle.job, name)
+
+    def start_job(self, handle: JobHandle) -> None:
+        """Start all dependency-free tasks; completions cascade the DAG."""
+        handle.manager.start_job(handle.job)
+
+    # -- 5. messages from tasks ----------------------------------------------------------
+    def get_message(self, handle: JobHandle, timeout: Optional[float] = None) -> Message:
+        return handle.job.client_queue.get(timeout)
+
+    def get_user_message(self, handle: JobHandle, timeout: Optional[float] = None) -> Message:
+        return handle.job.client_queue.get_matching(Message.is_user, timeout)
+
+    # -- 6. messages to tasks -----------------------------------------------------------
+    def send_message(self, handle: JobHandle, task_name: str, payload: Any) -> None:
+        handle.job.route(Message.user("client", task_name, payload))
+
+    # -- conveniences beyond the six -------------------------------------------------------
+    def query_status(self, handle: JobHandle) -> dict[str, Any]:
+        """QUERY_STATUS request: per-task state/placement + job summary.
+        The matching STATUS message also lands on the client queue."""
+        return handle.manager.query_status(handle.job)
+
+    def wait(self, handle: JobHandle, timeout: Optional[float] = None) -> dict[str, Any]:
+        """Block until the job finishes; returns task results."""
+        return handle.job.wait(timeout)
+
+    def cancel(self, handle: JobHandle) -> None:
+        handle.manager.cancel_job(handle.job)
+
+    def states(self, handle: JobHandle) -> dict[str, str]:
+        return handle.job.states()

@@ -1,0 +1,96 @@
+"""Cluster assembly: a neighborhood of CNServers on one multicast bus.
+
+"One could install CN servers on all the machines of a subnet and a user
+could run their client programs from any machine on the subnet." (paper
+section 3)
+
+:class:`Cluster` builds N homogeneous (or caller-specified) CNServers,
+wires every JobManager to every TaskManager (the subnet is flat), and
+owns lifecycle.  It is intentionally cheap to construct so tests and
+benchmarks can spin up clusters of various sizes.
+"""
+
+from __future__ import annotations
+
+from contextlib import AbstractContextManager
+from typing import Optional, Sequence
+
+from .multicast import MulticastBus
+from .registry import TaskRegistry
+from .server import CNServer
+
+__all__ = ["Cluster"]
+
+
+class Cluster(AbstractContextManager):
+    """A simulated CN deployment: bus + servers + shared task registry."""
+
+    def __init__(
+        self,
+        nodes: int = 4,
+        *,
+        registry: Optional[TaskRegistry] = None,
+        memory_per_node: int = 8000,
+        slots_per_node: int = 64,
+        per_hop_latency: float = 0.0,
+        node_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        self.registry = registry if registry is not None else TaskRegistry()
+        self.bus = MulticastBus(per_hop_latency=per_hop_latency)
+        names = list(node_names) if node_names else [f"node{i}" for i in range(nodes)]
+        if len(names) != nodes:
+            raise ValueError(f"{nodes} nodes but {len(names)} names")
+        self.servers = [
+            CNServer(
+                name,
+                self.bus,
+                self.registry,
+                memory_capacity=memory_per_node,
+                slots=slots_per_node,
+            )
+            for name in names
+        ]
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> "Cluster":
+        if self._started:
+            return self
+        for server in self.servers:
+            server.start()
+        # flat subnet: every JobManager may upload to every TaskManager
+        for manager in self.servers:
+            for peer in self.servers:
+                manager.connect_peer(peer)
+        self._started = True
+        return self
+
+    def shutdown(self) -> None:
+        for server in self.servers:
+            server.shutdown()
+        self._started = False
+
+    def __enter__(self) -> "Cluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- conveniences --------------------------------------------------------------
+    @property
+    def node_names(self) -> list[str]:
+        return [s.name for s in self.servers]
+
+    def server(self, name: str) -> CNServer:
+        for s in self.servers:
+            if s.name == name:
+                return s
+        raise KeyError(f"no server named {name!r}")
+
+    def total_free_memory(self) -> int:
+        return sum(s.taskmanager.free_memory for s in self.servers)
+
+    def __repr__(self) -> str:
+        return f"<Cluster {len(self.servers)} node(s)>"

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the CN runtime."""
+
+from __future__ import annotations
+
+__all__ = [
+    "CnError",
+    "ArchiveError",
+    "TaskLoadError",
+    "NoWillingJobManager",
+    "NoWillingTaskManager",
+    "JobError",
+    "TaskFailedError",
+    "UnknownTaskError",
+    "MessageTimeout",
+    "ShutdownError",
+]
+
+
+class CnError(Exception):
+    """Base class for all CN runtime errors."""
+
+
+class ArchiveError(CnError):
+    """A task archive is missing, corrupt, or lacks a manifest."""
+
+
+class TaskLoadError(CnError):
+    """The task class could not be resolved or does not implement Task."""
+
+
+class NoWillingJobManager(CnError):
+    """No JobManager responded to the multicast solicitation with enough
+    free resources for the job requirements."""
+
+
+class NoWillingTaskManager(CnError):
+    """No TaskManager was willing to host a task (insufficient memory or
+    slots across the cluster)."""
+
+
+class JobError(CnError):
+    """Generic job-level failure."""
+
+
+class TaskFailedError(JobError):
+    """A task raised; carries the original traceback text."""
+
+    def __init__(self, task_name: str, cause: str) -> None:
+        self.task_name = task_name
+        self.cause = cause
+        super().__init__(f"task {task_name!r} failed: {cause}")
+
+
+class UnknownTaskError(CnError):
+    """A message or start request addressed a task that does not exist."""
+
+
+class MessageTimeout(CnError):
+    """A blocking receive timed out."""
+
+
+class ShutdownError(CnError):
+    """Operation attempted on a component that has been shut down."""

@@ -1,0 +1,225 @@
+"""Jobs and task runtime state.
+
+"A Job is defined as a collection of Task objects" (paper section 3).
+:class:`TaskSpec` is the immutable description derived from a CNX
+``<task>``; :class:`TaskRuntime` tracks one (possibly dynamic-expanded)
+task instance through its lifecycle; :class:`Job` owns the roster, the
+job-wide tuple space, the client message queue, and the message router
+connecting them.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any, Optional, Sequence
+
+import pickle
+
+from ..core.cnx.schema import CnxTask
+from .errors import JobError, TaskFailedError, UnknownTaskError
+from .messages import Message, MessageType
+from .queues import MessageQueue
+from .runmodel import RunModel
+from .tuplespace import TupleSpace
+
+__all__ = ["TaskSpec", "TaskState", "TaskRuntime", "Job"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Immutable description of one task instance."""
+
+    name: str
+    jar: str
+    cls: str
+    depends: tuple[str, ...] = ()
+    memory: int = 1000
+    runmodel: RunModel = RunModel.RUN_AS_THREAD_IN_TM
+    params: tuple = ()
+    max_retries: int = 0
+
+    @classmethod
+    def from_cnx(cls, task: CnxTask) -> "TaskSpec":
+        """Build a spec from a CNX task element (dynamic expansion is the
+        caller's concern; see :meth:`expand_dynamic`)."""
+        return cls(
+            name=task.name,
+            jar=task.jar,
+            cls=task.cls,
+            depends=tuple(task.depends),
+            memory=task.task_req.memory,
+            runmodel=RunModel.parse(task.task_req.runmodel),
+            params=tuple(task.param_values()),
+            max_retries=task.task_req.retries,
+        )
+
+    def with_instance(self, index: int, params: Sequence[Any]) -> "TaskSpec":
+        """A concrete instance of a dynamic task: indexed name, given args."""
+        return replace(self, name=f"{self.name}{index}", params=tuple(params))
+
+
+class TaskState(str, Enum):
+    PENDING = "PENDING"      # spec known, not yet placed
+    CREATED = "CREATED"      # placed on a TaskManager, queue exists
+    RUNNING = "RUNNING"
+    RETRYING = "RETRYING"    # failed with retry budget left; being re-placed
+    COMPLETED = "COMPLETED"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (TaskState.COMPLETED, TaskState.FAILED, TaskState.CANCELLED)
+
+
+class TaskRuntime:
+    """Mutable lifecycle record for one task instance."""
+
+    def __init__(self, spec: TaskSpec) -> None:
+        self.spec = spec
+        self.state = TaskState.PENDING
+        self.node_name: Optional[str] = None
+        self.result: Any = None
+        self.error: Optional[str] = None
+        self.queue: Optional[MessageQueue] = None
+        self.attempts = 0  # completed + failed runs so far
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def __repr__(self) -> str:
+        return f"<TaskRuntime {self.name!r} {self.state.value}>"
+
+
+class Job:
+    """A job instance living in a JobManager.
+
+    The job is also the message router for its tasks: the paper's
+    JobManager is "a conduit between the client CN application and the
+    Job", and intertask/user traffic flows through the same conduit.
+    """
+
+    def __init__(self, job_id: str, client_name: str) -> None:
+        self.job_id = job_id
+        self.client_name = client_name
+        self.tasks: dict[str, TaskRuntime] = {}
+        self.task_order: list[str] = []
+        self.tuple_space = TupleSpace()
+        self.client_queue = MessageQueue(owner=f"{job_id}/client")
+        self._lock = threading.RLock()
+        self._finished = threading.Event()
+        self.failed: Optional[TaskFailedError] = None
+        # communication accounting (simulated wire volume): counts every
+        # routed message and estimates its payload size -- the observable
+        # the paper's row-k broadcast analysis (section 2) predicts
+        self.messages_routed = 0
+        self.payload_bytes = 0
+
+    # -- roster ----------------------------------------------------------------
+    def add_task(self, spec: TaskSpec) -> TaskRuntime:
+        with self._lock:
+            if spec.name in self.tasks:
+                raise JobError(f"job {self.job_id}: duplicate task {spec.name!r}")
+            runtime = TaskRuntime(spec)
+            self.tasks[spec.name] = runtime
+            self.task_order.append(spec.name)
+            return runtime
+
+    def task(self, name: str) -> TaskRuntime:
+        try:
+            return self.tasks[name]
+        except KeyError:
+            raise UnknownTaskError(f"job {self.job_id}: no task {name!r}") from None
+
+    def task_names(self) -> list[str]:
+        return list(self.task_order)
+
+    # -- dependency queries --------------------------------------------------------
+    def ready_tasks(self) -> list[TaskRuntime]:
+        """CREATED tasks whose dependencies have all completed."""
+        with self._lock:
+            ready = []
+            for name in self.task_order:
+                runtime = self.tasks[name]
+                if runtime.state is not TaskState.CREATED:
+                    continue
+                if all(
+                    self.tasks[d].state is TaskState.COMPLETED
+                    for d in runtime.spec.depends
+                ):
+                    ready.append(runtime)
+            return ready
+
+    def dependents_of(self, name: str) -> list[TaskRuntime]:
+        return [
+            self.tasks[t]
+            for t in self.task_order
+            if name in self.tasks[t].spec.depends
+        ]
+
+    # -- routing ----------------------------------------------------------------
+    def _account(self, message: Message) -> None:
+        try:
+            size = len(pickle.dumps(message.payload, protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception:
+            size = 0  # unpicklable payloads are possible in-process; skip
+        with self._lock:
+            self.messages_routed += 1
+            self.payload_bytes += size
+
+    def route(self, message: Message) -> None:
+        """Deliver *message* to a task queue or the client queue."""
+        self._account(message)
+        if message.recipient == "client":
+            self.client_queue.put(message)
+            return
+        runtime = self.task(message.recipient)
+        if runtime.queue is None:
+            raise UnknownTaskError(
+                f"task {message.recipient!r} has no queue yet (state "
+                f"{runtime.state.value})"
+            )
+        runtime.queue.put(message)
+
+    # -- completion ---------------------------------------------------------------
+    def note_terminal(self, name: str) -> None:
+        """Called by the TaskManager when a task reaches a terminal state;
+        flips the job-finished event when the roster is done."""
+        with self._lock:
+            runtime = self.tasks[name]
+            if runtime.state is TaskState.FAILED and self.failed is None:
+                self.failed = TaskFailedError(name, runtime.error or "unknown")
+            if all(t.state.terminal for t in self.tasks.values()):
+                self._finished.set()
+            # fail fast: a failure finishes the job even with tasks pending
+            elif self.failed is not None:
+                self._finished.set()
+
+    def wait(self, timeout: Optional[float] = None) -> dict[str, Any]:
+        """Block until every task is terminal (or one fails).  Returns the
+        result map; raises the first :class:`TaskFailedError` on failure."""
+        if not self._finished.wait(timeout):
+            raise JobError(f"job {self.job_id} did not finish within {timeout}s")
+        if self.failed is not None:
+            raise self.failed
+        return self.results()
+
+    @property
+    def finished(self) -> bool:
+        return self._finished.is_set()
+
+    def results(self) -> dict[str, Any]:
+        return {
+            name: runtime.result
+            for name, runtime in self.tasks.items()
+            if runtime.state is TaskState.COMPLETED
+        }
+
+    def states(self) -> dict[str, str]:
+        return {name: runtime.state.value for name, runtime in self.tasks.items()}
+
+    def __repr__(self) -> str:
+        return f"<Job {self.job_id!r} tasks={len(self.tasks)}>"

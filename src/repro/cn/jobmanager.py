@@ -1,0 +1,275 @@
+"""JobManager: job creation, task placement, dependency-driven starts.
+
+"A JobManager is selected based on User specified Job requirements from
+the list of willing JobManagers.  The Job is subsequently created in the
+selected JobManager.  ...  The JobManager solicits TaskManager for the
+Tasks that requested to be created by the User program.  If a willing
+TaskManager is found the JobManager will upload the JAR file to that
+TaskManager." (paper section 3)
+
+Placement policy: the JobManager multicasts a taskmanager solicitation
+carrying the task's memory/runmodel requirements and picks the willing
+responder with the most free memory (best-fit-decreasing spreads load
+across nodes, which the placement benchmark measures).  The JobManager
+also drives the dependency DAG: when a task completes, every dependent
+whose dependencies are all complete is started automatically -- this is
+the "transitions are triggered by internal task termination" semantics
+the activity-diagram mapping relies on (paper section 4).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from .errors import CnError, NoWillingTaskManager
+from .job import Job, TaskRuntime, TaskSpec, TaskState
+from .messages import Message, MessageType
+from .multicast import MulticastBus, Solicitation
+from .registry import TaskRegistry
+from .runmodel import RunModel
+from .taskmanager import TaskManager
+
+__all__ = ["JobManager"]
+
+
+class JobManager:
+    """One node's job coordination component."""
+
+    def __init__(
+        self,
+        name: str,
+        bus: MulticastBus,
+        registry: TaskRegistry,
+        *,
+        max_jobs: int = 16,
+        local_taskmanager: Optional[TaskManager] = None,
+    ) -> None:
+        self.name = name
+        self.bus = bus
+        self.registry = registry
+        self.max_jobs = max_jobs
+        self.local_taskmanager = local_taskmanager
+        self.jobs: dict[str, Job] = {}
+        self._job_counter = 0
+        self._lock = threading.RLock()
+        self._taskmanagers: dict[str, TaskManager] = {}
+        self._shutdown = False
+
+    # -- discovery ---------------------------------------------------------
+    def willing_to_manage(self, solicitation: Solicitation) -> Optional[dict]:
+        """Respond to a multicast jobmanager solicitation (or decline)."""
+        with self._lock:
+            if self._shutdown:
+                return None
+            active = len([j for j in self.jobs.values() if not j.finished])
+            if active >= self.max_jobs:
+                return None
+            wanted_tasks = int(solicitation.requirements.get("tasks", 0))
+            # the offer advertises this manager's view of cluster capacity
+            return {
+                "manager": self.name,
+                "active_jobs": active,
+                "free_job_slots": self.max_jobs - active,
+                "local_free_memory": (
+                    self.local_taskmanager.free_memory if self.local_taskmanager else 0
+                ),
+                "wanted_tasks": wanted_tasks,
+            }
+
+    def register_taskmanager(self, tm: TaskManager) -> None:
+        """Make *tm* known for direct upload after a successful solicit."""
+        with self._lock:
+            self._taskmanagers[tm.name] = tm
+
+    # -- job lifecycle -----------------------------------------------------------
+    def create_job(self, client_name: str) -> Job:
+        with self._lock:
+            if self._shutdown:
+                raise CnError(f"JobManager {self.name!r} is shut down")
+            self._job_counter += 1
+            job_id = f"{self.name}-job{self._job_counter}"
+            job = Job(job_id, client_name)
+            self.jobs[job_id] = job
+            return job
+
+    def create_task(self, job: Job, spec: TaskSpec) -> TaskRuntime:
+        """Place one task: solicit TaskManagers, upload, create queue."""
+        runtime = job.add_task(spec)
+        self._place(job, runtime)
+        job.route(
+            Message(
+                MessageType.TASK_CREATED,
+                sender=self.name,
+                recipient="client",
+                payload={"task": spec.name, "node": runtime.node_name},
+            )
+        )
+        return runtime
+
+    def _place(self, job: Job, runtime: TaskRuntime) -> None:
+        spec = runtime.spec
+        if spec.runmodel is RunModel.RUN_IN_JOBMANAGER and self.local_taskmanager:
+            # coordinator-style task runs on this servant's own TM
+            task_class = self.registry.resolve(spec.jar, spec.cls)
+            self.local_taskmanager.host_task(job, runtime, task_class)
+            return
+        offers = self.bus.solicit(
+            Solicitation(
+                kind="taskmanager",
+                requirements={
+                    "memory": spec.memory,
+                    "runmodel": spec.runmodel.value,
+                    "jar": spec.jar,
+                },
+                sender=self.name,
+            )
+        )
+        if not offers:
+            raise NoWillingTaskManager(
+                f"no TaskManager willing to host {spec.name!r} "
+                f"(memory {spec.memory}, runmodel {spec.runmodel.value})"
+            )
+        # best fit: most free memory first; ties broken by name for determinism
+        offers.sort(key=lambda item: (-item[1]["free_memory"], item[0]))
+        tm_name = offers[0][1]["taskmanager"]
+        tm = self._taskmanagers.get(tm_name)
+        if tm is None:
+            raise CnError(
+                f"TaskManager {tm_name!r} responded on the bus but is not "
+                f"registered with JobManager {self.name!r} for upload"
+            )
+        task_class = self.registry.resolve(spec.jar, spec.cls)  # "upload the JAR"
+        tm.host_task(job, runtime, task_class)
+
+    # -- starting & DAG driving ------------------------------------------------------
+    def start_task(self, job: Job, name: str, *, claim_only: bool = False) -> bool:
+        """Start one task explicitly (dependencies are not checked; the
+        generated clients start roots and let completion drive the rest)."""
+        runtime = job.task(name)
+        tm = self._tm_for(runtime)
+        return tm.start_task(
+            job, name, on_terminal=self._on_terminal, claim_only=claim_only
+        )
+
+    def start_job(self, job: Job) -> None:
+        """Start every dependency-free task; the completion callback
+        cascades through the DAG."""
+        ready = job.ready_tasks()
+        if not ready and not job.finished:
+            raise CnError(f"job {job.job_id} has no startable tasks")
+        for runtime in ready:
+            # claim_only: an already-finished task's completion callback
+            # may have started this one a moment ago
+            self.start_task(job, runtime.name, claim_only=True)
+
+    def _on_terminal(self, job: Job, finished: TaskRuntime) -> None:
+        if finished.state is TaskState.RETRYING:
+            self._retry(job, finished)
+            return
+        if finished.state is not TaskState.COMPLETED:
+            return  # failure/cancel: fail fast, do not cascade
+        for runtime in job.ready_tasks():
+            # benign race with start_job / sibling callbacks: claim_only
+            # makes exactly one starter win
+            self.start_task(job, runtime.name, claim_only=True)
+
+    def _retry(self, job: Job, runtime: TaskRuntime) -> None:
+        """Re-place and restart a failed task with retry budget left.
+
+        The old hosting is evicted (its memory was released on failure)
+        and placement is solicited afresh, so the retry may land on a
+        different node -- the useful property when the failure was
+        node-local.  Messages queued for the failed attempt are dropped
+        with it: retried tasks start with a fresh queue, and peers that
+        coordinate with them must tolerate re-requests (at-most-once
+        delivery, documented on TaskContext)."""
+        old_tm = self._taskmanagers.get(runtime.node_name or "")
+        if old_tm is None and self.local_taskmanager is not None:
+            if self.local_taskmanager.name == runtime.node_name:
+                old_tm = self.local_taskmanager
+        if old_tm is not None:
+            old_tm.evict(job, runtime.name)
+        try:
+            self._place(job, runtime)
+            self.start_task(job, runtime.name, claim_only=True)
+        except CnError:
+            runtime.state = TaskState.FAILED
+            runtime.error = (
+                (runtime.error or "")
+                + f"\nretry placement failed for attempt {runtime.attempts + 1}"
+            )
+            try:
+                job.route(
+                    Message(
+                        MessageType.TASK_FAILED,
+                        sender=self.name,
+                        recipient="client",
+                        payload={"task": runtime.name, "error": runtime.error},
+                    )
+                )
+            except Exception:
+                pass
+            job.note_terminal(runtime.name)
+
+    def _tm_for(self, runtime: TaskRuntime) -> TaskManager:
+        if runtime.node_name is None:
+            raise CnError(f"task {runtime.name!r} has not been placed")
+        tm = self._taskmanagers.get(runtime.node_name)
+        if tm is None and self.local_taskmanager is not None:
+            if self.local_taskmanager.name == runtime.node_name:
+                tm = self.local_taskmanager
+        if tm is None:
+            raise CnError(f"unknown TaskManager {runtime.node_name!r}")
+        return tm
+
+    # -- status -----------------------------------------------------------------
+    def query_status(self, job: Job) -> dict:
+        """Answer a QUERY_STATUS request: per-task state and placement plus
+        job-level summary.  A STATUS message with the same payload is also
+        delivered to the client queue (the well-defined request/response
+        pair of the CN message protocol)."""
+        payload = {
+            "job_id": job.job_id,
+            "client": job.client_name,
+            "finished": job.finished,
+            "failed": job.failed is not None,
+            "tasks": {
+                name: {
+                    "state": job.tasks[name].state.value,
+                    "node": job.tasks[name].node_name,
+                }
+                for name in job.task_names()
+            },
+        }
+        try:
+            job.route(
+                Message(
+                    MessageType.STATUS,
+                    sender=self.name,
+                    recipient="client",
+                    payload=payload,
+                )
+            )
+        except Exception:
+            pass  # job already torn down; the return value still answers
+        return payload
+
+    # -- cancellation / shutdown ---------------------------------------------------
+    def cancel_job(self, job: Job) -> None:
+        for name in job.task_names():
+            runtime = job.task(name)
+            if runtime.node_name is not None and not runtime.state.terminal:
+                self._tm_for(runtime).cancel_task(job, name)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._shutdown = True
+            jobs = list(self.jobs.values())
+        for job in jobs:
+            if not job.finished:
+                self.cancel_job(job)
+            job.client_queue.close()
+
+    def __repr__(self) -> str:
+        return f"<JobManager {self.name!r} jobs={len(self.jobs)}>"

@@ -1,0 +1,145 @@
+"""CN messaging model.
+
+"CN uses messages as the fundamental information between the CN and the
+client.  CN has well-defined messages that define the Message Request,
+expected Message Action and expected Message Response.  Besides the
+well-defined messages, CN also allows user-defined messages that only
+the application (client and its tasks) understands." (paper section 3)
+
+The model deliberately resembles the Windows/X message loop the paper
+cites: every task owns a queue, messages are small typed records, and
+the framework's own protocol messages share the transport with
+user-defined application messages.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["MessageType", "Message", "WELL_DEFINED", "is_well_defined", "expected_response"]
+
+
+class MessageType:
+    """Well-defined CN message types plus the USER escape hatch."""
+
+    # client -> framework requests
+    CREATE_JOB = "CREATE_JOB"
+    CREATE_TASK = "CREATE_TASK"
+    START_TASK = "START_TASK"
+    CANCEL_TASK = "CANCEL_TASK"
+    QUERY_STATUS = "QUERY_STATUS"
+    SHUTDOWN = "SHUTDOWN"
+
+    # framework -> client responses / notifications
+    JOB_CREATED = "JOB_CREATED"
+    TASK_CREATED = "TASK_CREATED"
+    TASK_STARTED = "TASK_STARTED"
+    TASK_COMPLETED = "TASK_COMPLETED"
+    TASK_FAILED = "TASK_FAILED"
+    TASK_RETRY = "TASK_RETRY"
+    TASK_CANCELLED = "TASK_CANCELLED"
+    STATUS = "STATUS"
+    JOB_COMPLETED = "JOB_COMPLETED"
+    JOB_FAILED = "JOB_FAILED"
+
+    # application-defined payloads; CN is a pure delivery mechanism
+    USER = "USER"
+
+
+# request -> (expected action description, expected response types)
+WELL_DEFINED: dict[str, tuple[str, tuple[str, ...]]] = {
+    MessageType.CREATE_JOB: (
+        "select a JobManager and create the job",
+        (MessageType.JOB_CREATED,),
+    ),
+    MessageType.CREATE_TASK: (
+        "solicit a TaskManager, upload the archive, set up the task queue",
+        (MessageType.TASK_CREATED,),
+    ),
+    MessageType.START_TASK: (
+        "execute the task in its own thread",
+        (MessageType.TASK_STARTED,),
+    ),
+    MessageType.CANCEL_TASK: (
+        "interrupt the task if running",
+        (MessageType.TASK_CANCELLED,),
+    ),
+    MessageType.QUERY_STATUS: (
+        "report job/task status",
+        (MessageType.STATUS,),
+    ),
+    MessageType.SHUTDOWN: ("stop the component", ()),
+}
+
+
+def is_well_defined(message_type: str) -> bool:
+    """Whether *message_type* is part of the CN protocol (not USER)."""
+    return message_type in WELL_DEFINED or message_type in {
+        MessageType.JOB_CREATED,
+        MessageType.TASK_CREATED,
+        MessageType.TASK_STARTED,
+        MessageType.TASK_COMPLETED,
+        MessageType.TASK_FAILED,
+        MessageType.TASK_RETRY,
+        MessageType.TASK_CANCELLED,
+        MessageType.STATUS,
+        MessageType.JOB_COMPLETED,
+        MessageType.JOB_FAILED,
+    }
+
+
+def expected_response(request_type: str) -> tuple[str, ...]:
+    """The response types a well-defined request expects."""
+    try:
+        return WELL_DEFINED[request_type][1]
+    except KeyError:
+        raise KeyError(f"{request_type!r} is not a well-defined request") from None
+
+
+_serial = itertools.count(1)
+_serial_lock = threading.Lock()
+
+
+def _next_serial() -> int:
+    with _serial_lock:
+        return next(_serial)
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable message record.
+
+    ``sender`` / ``recipient`` are task names (or the reserved names
+    ``client``, ``jobmanager``, ``taskmanager``).  ``correlation`` ties a
+    response to its request.  ``serial`` gives a process-wide total order
+    useful in tests and logs (a logical clock; no wall time involved, so
+    runs are deterministic under a fixed schedule).
+    """
+
+    type: str
+    sender: str
+    recipient: str
+    payload: Any = None
+    correlation: Optional[int] = None
+    serial: int = field(default_factory=_next_serial)
+
+    def is_user(self) -> bool:
+        return self.type == MessageType.USER
+
+    def reply(self, type: str, sender: str, payload: Any = None) -> "Message":
+        """Build the response message correlated with this request."""
+        return Message(
+            type=type,
+            sender=sender,
+            recipient=self.sender,
+            payload=payload,
+            correlation=self.serial,
+        )
+
+    @staticmethod
+    def user(sender: str, recipient: str, payload: Any) -> "Message":
+        """A user-defined message; CN merely delivers it."""
+        return Message(MessageType.USER, sender, recipient, payload)

@@ -1,0 +1,87 @@
+"""Simulated multicast discovery bus.
+
+"Requests to JobManager are communicated using multicast.  JobManagers
+respond to multicast requests for JobManagers if they have free
+resources and are willing to be JobManagers." (paper section 3)
+
+The bus is an in-process pub/sub channel: components subscribe with a
+responder callable; :meth:`solicit` delivers the request to every
+subscriber and collects the non-``None`` responses.  A configurable
+per-subscriber artificial latency lets the placement benchmarks model
+cluster sizes (the real system pays one LAN round-trip per responder;
+we charge a deterministic simulated cost instead of wall-clock sleeps).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["MulticastBus", "Solicitation", "BusStats"]
+
+Responder = Callable[["Solicitation"], Optional[Any]]
+
+
+@dataclass(frozen=True)
+class Solicitation:
+    """A multicast request: what is being solicited and its requirements."""
+
+    kind: str  # "jobmanager" | "taskmanager"
+    requirements: dict
+    sender: str
+
+
+@dataclass
+class BusStats:
+    """Deterministic accounting used by the placement benchmarks."""
+
+    solicitations: int = 0
+    deliveries: int = 0
+    responses: int = 0
+    simulated_latency: float = 0.0  # accumulated virtual seconds
+
+
+class MulticastBus:
+    """In-process multicast with response collection."""
+
+    def __init__(self, *, per_hop_latency: float = 0.0) -> None:
+        self._subscribers: list[tuple[str, Responder]] = []
+        self._lock = threading.RLock()
+        self.per_hop_latency = per_hop_latency
+        self.stats = BusStats()
+
+    def subscribe(self, name: str, responder: Responder) -> None:
+        with self._lock:
+            self._subscribers.append((name, responder))
+
+    def unsubscribe(self, name: str) -> None:
+        with self._lock:
+            self._subscribers = [(n, r) for n, r in self._subscribers if n != name]
+
+    def subscriber_names(self) -> list[str]:
+        with self._lock:
+            return [n for n, _ in self._subscribers]
+
+    def solicit(self, solicitation: Solicitation) -> list[tuple[str, Any]]:
+        """Deliver to all subscribers; collect willing (name, offer) pairs.
+
+        Delivery order is subscription order, making runs deterministic;
+        responders that raise are treated as unwilling (a crashed node
+        must not take down discovery).
+        """
+        with self._lock:
+            subscribers = list(self._subscribers)
+        self.stats.solicitations += 1
+        offers: list[tuple[str, Any]] = []
+        for name, responder in subscribers:
+            self.stats.deliveries += 1
+            self.stats.simulated_latency += self.per_hop_latency
+            try:
+                offer = responder(solicitation)
+            except Exception:
+                continue
+            if offer is not None:
+                self.stats.responses += 1
+                offers.append((name, offer))
+        return offers

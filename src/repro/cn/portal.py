@@ -1,0 +1,256 @@
+"""Web-portal prototype (paper Fig. 1, last component).
+
+"Prototype: Web interface to the CN cluster that accepts UML model in
+XMI format, translates the model to an executable, executes [the] model
+and displays or makes the results available for download."
+
+Two layers:
+
+* :class:`Portal` -- the in-process service: accepts XMI submissions,
+  runs the Fig. 6 pipeline against its cluster, and keeps every
+  submission's artifacts (CNX, generated client, results) available for
+  download.  This is what tests and the second deployment configuration
+  ("through a web portal so that the user does not need to log on to the
+  subnet") exercise.
+* :class:`PortalHTTPServer` -- a thin stdlib ``http.server`` wrapper
+  exposing the same operations over HTTP (POST /submit with the XMI
+  document as the request body; GET /submissions; GET
+  /submission/<id>/<artifact>).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import traceback
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping, Optional
+
+from repro.core.transform.pipeline import Pipeline
+
+from .cluster import Cluster
+from .registry import TaskRegistry
+
+__all__ = ["Portal", "Submission", "PortalHTTPServer", "main"]
+
+
+@dataclass
+class Submission:
+    """One accepted XMI submission and everything produced from it."""
+
+    submission_id: int
+    status: str = "pending"  # pending | done | failed
+    xmi_text: str = ""
+    cnx_text: str = ""
+    python_source: str = ""
+    java_source: str = ""
+    results: list[dict[str, Any]] = field(default_factory=list)
+    error: str = ""
+
+    def artifacts(self) -> dict[str, str]:
+        return {
+            "xmi": self.xmi_text,
+            "cnx": self.cnx_text,
+            "client.py": self.python_source,
+            "client.java": self.java_source,
+        }
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "id": self.submission_id,
+            "status": self.status,
+            "jobs": len(self.results),
+            "error": self.error.splitlines()[-1] if self.error else "",
+        }
+
+
+class Portal:
+    """The in-process portal service."""
+
+    def __init__(
+        self,
+        cluster: Optional[Cluster] = None,
+        *,
+        registry: Optional[TaskRegistry] = None,
+        transform: str = "xslt",
+        timeout: float = 120.0,
+    ) -> None:
+        self._owns_cluster = cluster is None
+        self.cluster = cluster if cluster is not None else Cluster(4, registry=registry)
+        self.cluster.start()
+        self.pipeline = Pipeline(transform=transform)
+        self.timeout = timeout
+        self._submissions: dict[int, Submission] = {}
+        self._counter = 0
+        self._lock = threading.Lock()
+
+    # -- operations ----------------------------------------------------------
+    def submit(
+        self,
+        xmi_text: str,
+        runtime_args: Optional[Mapping[str, Any]] = None,
+    ) -> Submission:
+        """Accept an XMI document, run the pipeline, record everything."""
+        with self._lock:
+            self._counter += 1
+            submission = Submission(self._counter, xmi_text=xmi_text)
+            self._submissions[submission.submission_id] = submission
+        try:
+            from repro.core.xmi.reader import read_model
+
+            model = read_model(xmi_text)
+            outcome = self.pipeline.run(
+                model,
+                self.cluster,
+                runtime_args=runtime_args,
+                timeout=self.timeout,
+            )
+            submission.cnx_text = outcome.cnx_text
+            submission.python_source = outcome.python_source
+            submission.java_source = outcome.java_source
+            submission.results = outcome.job_results
+            submission.status = "done"
+        except Exception:
+            submission.status = "failed"
+            submission.error = traceback.format_exc()
+        return submission
+
+    def get(self, submission_id: int) -> Submission:
+        with self._lock:
+            try:
+                return self._submissions[submission_id]
+            except KeyError:
+                raise KeyError(f"no submission {submission_id}") from None
+
+    def list(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [s.summary() for s in self._submissions.values()]
+
+    def close(self) -> None:
+        if self._owns_cluster:
+            self.cluster.shutdown()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    portal: Portal  # set by PortalHTTPServer
+
+    def log_message(self, format: str, *args: Any) -> None:  # silence stdout
+        pass
+
+    def _send(self, code: int, body: bytes, content_type: str = "application/json") -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, code: int, payload: Any) -> None:
+        self._send(code, json.dumps(payload, default=str).encode())
+
+    def do_GET(self) -> None:
+        parts = [p for p in self.path.split("/") if p]
+        if not parts:
+            self._send(
+                200,
+                b"<html><body><h1>CN Portal</h1>"
+                b"<p>POST an XMI document to /submit; list via /submissions; "
+                b"fetch artifacts via /submission/&lt;id&gt;/&lt;artifact&gt;.</p>"
+                b"</body></html>",
+                "text/html",
+            )
+            return
+        if parts == ["submissions"]:
+            self._json(200, self.portal.list())
+            return
+        if len(parts) >= 2 and parts[0] == "submission":
+            try:
+                submission = self.portal.get(int(parts[1]))
+            except (KeyError, ValueError):
+                self._json(404, {"error": "no such submission"})
+                return
+            if len(parts) == 2:
+                self._json(
+                    200, {**submission.summary(), "results": submission.results}
+                )
+                return
+            artifact = submission.artifacts().get(parts[2])
+            if artifact is None:
+                self._json(404, {"error": f"no artifact {parts[2]!r}"})
+                return
+            self._send(200, artifact.encode(), "text/plain")
+            return
+        self._json(404, {"error": "unknown path"})
+
+    def do_POST(self) -> None:
+        if self.path.rstrip("/") != "/submit":
+            self._json(404, {"error": "POST /submit only"})
+            return
+        length = int(self.headers.get("Content-Length", "0"))
+        body = self.rfile.read(length).decode()
+        runtime_args = {}
+        args_header = self.headers.get("X-Runtime-Args")
+        if args_header:
+            runtime_args = json.loads(args_header)
+        submission = self.portal.submit(body, runtime_args)
+        self._json(
+            200 if submission.status == "done" else 500,
+            {**submission.summary(), "results": submission.results},
+        )
+
+
+class PortalHTTPServer:
+    """Serve a :class:`Portal` over HTTP on a background thread."""
+
+    def __init__(self, portal: Portal, host: str = "127.0.0.1", port: int = 0) -> None:
+        handler = type("BoundHandler", (_Handler,), {"portal": portal})
+        self.portal = portal
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.thread = threading.Thread(
+            target=self.httpd.serve_forever, name="cn-portal", daemon=True
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.httpd.server_address[0], self.httpd.server_address[1]
+
+    def start(self) -> "PortalHTTPServer":
+        self.thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Console entry point: run a portal over a fresh 4-node cluster."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="CN web portal prototype")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=5666)
+    parser.add_argument("--nodes", type=int, default=4)
+    options = parser.parse_args(argv)
+    from repro.apps.floyd import register_floyd_tasks
+    from repro.apps.montecarlo import register_pi_tasks
+    from repro.apps.wordcount import register_wordcount_tasks
+
+    registry = TaskRegistry()
+    register_floyd_tasks(registry)
+    register_pi_tasks(registry)
+    register_wordcount_tasks(registry)
+    portal = Portal(Cluster(options.nodes, registry=registry))
+    server = PortalHTTPServer(portal, options.host, options.port).start()
+    host, port = server.address
+    print(f"CN portal listening on http://{host}:{port}/")
+    try:
+        server.thread.join()
+    except KeyboardInterrupt:
+        server.stop()
+        portal.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

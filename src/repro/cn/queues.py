@@ -1,0 +1,107 @@
+"""Per-task message queues.
+
+"TaskManager ... sets up a message queue for each Task and then executes
+each Task in a separate thread" (paper section 3).  The queue is a thin
+wrapper over :class:`queue.Queue` adding close semantics (a closed queue
+unblocks waiters with :class:`~repro.cn.errors.ShutdownError`) and
+selective receive (wait for a message matching a predicate while
+buffering the rest), which tasks like the Floyd workers use to pull the
+k-th row broadcast out of order from result traffic.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Optional
+
+from .errors import MessageTimeout, ShutdownError
+from .messages import Message
+
+__all__ = ["MessageQueue"]
+
+_CLOSE = object()
+
+
+class MessageQueue:
+    """Unbounded FIFO of :class:`Message` with close and selective recv."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = threading.Event()
+        self._stash: list[Message] = []
+        self._stash_lock = threading.Lock()
+
+    # -- producer side -----------------------------------------------------
+    def put(self, message: Message) -> None:
+        if self._closed.is_set():
+            raise ShutdownError(f"queue for {self.owner!r} is closed")
+        self._queue.put(message)
+
+    def close(self) -> None:
+        """Close the queue; pending and future getters raise ShutdownError."""
+        if not self._closed.is_set():
+            self._closed.set()
+            self._queue.put(_CLOSE)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    # -- consumer side -------------------------------------------------------
+    def get(self, timeout: Optional[float] = None) -> Message:
+        """Next message in arrival order (stashed messages first)."""
+        with self._stash_lock:
+            if self._stash:
+                return self._stash.pop(0)
+        return self._get_raw(timeout)
+
+    def _get_raw(self, timeout: Optional[float]) -> Message:
+        try:
+            item = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            raise MessageTimeout(
+                f"no message for {self.owner!r} within {timeout}s"
+            ) from None
+        if item is _CLOSE:
+            self._queue.put(_CLOSE)  # let other waiters see it too
+            raise ShutdownError(f"queue for {self.owner!r} closed while waiting")
+        return item
+
+    def get_matching(
+        self,
+        predicate: Callable[[Message], bool],
+        timeout: Optional[float] = None,
+    ) -> Message:
+        """Next message satisfying *predicate*; non-matching messages are
+        stashed and later returned by :meth:`get` in their original order."""
+        with self._stash_lock:
+            for index, message in enumerate(self._stash):
+                if predicate(message):
+                    return self._stash.pop(index)
+        while True:
+            message = self._get_raw(timeout)
+            if predicate(message):
+                return message
+            with self._stash_lock:
+                self._stash.append(message)
+
+    def drain(self) -> list[Message]:
+        """All currently queued messages without blocking."""
+        out: list[Message] = []
+        with self._stash_lock:
+            out.extend(self._stash)
+            self._stash.clear()
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return out
+            if item is _CLOSE:
+                self._queue.put(_CLOSE)
+                return out
+            out.append(item)
+
+    def __len__(self) -> int:
+        return len(self._stash) + self._queue.qsize()

@@ -1,0 +1,99 @@
+"""CNServer: the servant combining JobManager and TaskManager.
+
+"JobManager and the TaskManager are part of the same process, CNServer,
+which is a servant (since it acts as a client and a server)." (paper
+section 3)
+
+A CNServer is one simulated cluster node: it subscribes both of its
+components to the multicast bus (jobmanager solicitations answered by
+the JobManager, taskmanager solicitations by the TaskManager's capacity
+check) and registers itself with peer JobManagers so any manager can
+upload tasks to any node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .jobmanager import JobManager
+from .multicast import MulticastBus, Solicitation
+from .registry import TaskRegistry
+from .runmodel import RunModel
+from .taskmanager import TaskManager
+
+__all__ = ["CNServer"]
+
+
+class CNServer:
+    """One cluster node hosting a JobManager + TaskManager pair."""
+
+    def __init__(
+        self,
+        name: str,
+        bus: MulticastBus,
+        registry: TaskRegistry,
+        *,
+        memory_capacity: int = 8000,
+        slots: int = 64,
+        max_jobs: int = 16,
+        accept_jobs: bool = True,
+        accept_tasks: bool = True,
+    ) -> None:
+        self.name = name
+        self.bus = bus
+        self.accept_jobs = accept_jobs
+        self.accept_tasks = accept_tasks
+        self.taskmanager = TaskManager(
+            f"{name}/tm", memory_capacity=memory_capacity, slots=slots
+        )
+        self.jobmanager = JobManager(
+            f"{name}/jm",
+            bus,
+            registry,
+            max_jobs=max_jobs,
+            local_taskmanager=self.taskmanager,
+        )
+        self._subscribed = False
+
+    # -- bus integration ------------------------------------------------------
+    def start(self) -> None:
+        """Join the neighborhood: subscribe to multicast solicitations."""
+        if self._subscribed:
+            return
+        self.bus.subscribe(self.name, self._respond)
+        self._subscribed = True
+
+    def _respond(self, solicitation: Solicitation) -> Optional[dict]:
+        if solicitation.kind == "jobmanager":
+            if not self.accept_jobs:
+                return None
+            return self.jobmanager.willing_to_manage(solicitation)
+        if solicitation.kind == "taskmanager":
+            if not self.accept_tasks:
+                return None
+            memory = int(solicitation.requirements.get("memory", 0))
+            runmodel = RunModel.parse(
+                solicitation.requirements.get("runmodel", RunModel.RUN_AS_THREAD_IN_TM.value)
+            )
+            if not self.taskmanager.can_host(memory, runmodel):
+                return None
+            return {
+                "taskmanager": self.taskmanager.name,
+                "free_memory": self.taskmanager.free_memory,
+                "free_slots": self.taskmanager.free_slots,
+            }
+        return None
+
+    def connect_peer(self, peer: "CNServer") -> None:
+        """Allow this node's JobManager to upload tasks to *peer*'s TM."""
+        self.jobmanager.register_taskmanager(peer.taskmanager)
+
+    def shutdown(self) -> None:
+        if self._subscribed:
+            self.bus.unsubscribe(self.name)
+            self._subscribed = False
+        self.jobmanager.shutdown()
+        self.taskmanager.shutdown()
+
+    def __repr__(self) -> str:
+        return f"<CNServer {self.name!r}>"

@@ -1,0 +1,142 @@
+"""The CN Task interface and the context handed to running tasks.
+
+"A Task is defined to be a unit of work that the user wants to perform"
+(paper section 3).  User task classes subclass :class:`Task` (or simply
+provide a compatible ``run``) and are packaged into archives; the
+TaskManager instantiates them with their descriptor parameters and runs
+``run(context)`` on a dedicated thread.
+
+The :class:`TaskContext` exposes the CN API surface a task sees:
+
+* its own name, its job's task roster,
+* intertask messaging -- ``send``, ``broadcast``, ``recv``,
+  ``recv_user`` (the CNAPI channel of section 2), and
+* the job's tuple space (the alternative coordination channel section 3
+  mentions).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Optional, Sequence
+
+from .errors import UnknownTaskError
+from .messages import Message, MessageType
+from .queues import MessageQueue
+from .tuplespace import TupleSpace
+
+__all__ = ["Task", "TaskContext", "FunctionTask"]
+
+
+class Task(abc.ABC):
+    """Base class for user tasks.
+
+    Subclasses receive their CNX ``<param>`` values as constructor
+    arguments (coerced per the declared types) and implement :meth:`run`.
+    The return value becomes the task's result, delivered to the client
+    in the TASK_COMPLETED message and stored on the job.
+    """
+
+    @abc.abstractmethod
+    def run(self, ctx: "TaskContext") -> Any:
+        """Execute the unit of work; the return value is the task result."""
+
+    def on_cancel(self) -> None:  # pragma: no cover - cooperative hook
+        """Called when the task is cancelled; override for cleanup."""
+
+
+class FunctionTask(Task):
+    """Adapter turning a plain callable into a Task (handy in tests)."""
+
+    def __init__(self, *params: Any) -> None:
+        self.params = params
+
+    fn: Optional[Callable[..., Any]] = None
+
+    def run(self, ctx: "TaskContext") -> Any:
+        if type(self).fn is None:
+            raise NotImplementedError("FunctionTask subclass must set fn")
+        return type(self).fn(ctx, *self.params)  # type: ignore[misc]
+
+
+class TaskContext:
+    """Everything a running task may touch.
+
+    The context is created by the TaskManager; ``_route`` is the
+    job-level router delivering messages to sibling tasks or the client.
+    """
+
+    def __init__(
+        self,
+        *,
+        task_name: str,
+        job_id: str,
+        node_name: str,
+        peers: Sequence[str],
+        queue: MessageQueue,
+        route: Callable[[Message], None],
+        tuple_space: TupleSpace,
+        params: Sequence[Any] = (),
+        dependencies: Optional[dict[str, tuple[str, ...]]] = None,
+    ) -> None:
+        self.task_name = task_name
+        self.job_id = job_id
+        self.node_name = node_name
+        self.peers = list(peers)
+        self.params = list(params)
+        self._queue = queue
+        self._route = route
+        self.tuple_space = tuple_space
+        self.cancelled = False
+        # job-wide dependency map (task -> its depends), letting tasks
+        # discover their role in the DAG without naming conventions
+        self.dependencies = dict(dependencies or {})
+
+    # -- DAG introspection ------------------------------------------------------
+    def my_dependencies(self) -> list[str]:
+        """Names of the tasks this task depends on (its data sources)."""
+        return list(self.dependencies.get(self.task_name, ()))
+
+    def my_dependents(self) -> list[str]:
+        """Names of the tasks that depend on this task (its consumers)."""
+        return [
+            name
+            for name, deps in self.dependencies.items()
+            if self.task_name in deps
+        ]
+
+    # -- messaging ------------------------------------------------------------
+    def send(self, recipient: str, payload: Any) -> None:
+        """Send a user-defined message to a sibling task or ``client``."""
+        if recipient != "client" and recipient not in self.peers:
+            raise UnknownTaskError(
+                f"{self.task_name!r} cannot send to unknown task {recipient!r}"
+            )
+        self._route(Message.user(self.task_name, recipient, payload))
+
+    def broadcast(self, payload: Any, *, include_self: bool = False) -> None:
+        """Send a user-defined message to every task in the job."""
+        for peer in self.peers:
+            if peer == self.task_name and not include_self:
+                continue
+            self._route(Message.user(self.task_name, peer, payload))
+
+    def recv(self, timeout: Optional[float] = None) -> Message:
+        """Next message addressed to this task (any type)."""
+        return self._queue.get(timeout)
+
+    def recv_user(self, timeout: Optional[float] = None) -> Message:
+        """Next USER message (protocol traffic is skipped, stays queued)."""
+        return self._queue.get_matching(Message.is_user, timeout)
+
+    def recv_matching(
+        self, predicate: Callable[[Message], bool], timeout: Optional[float] = None
+    ) -> Message:
+        """Selective receive; non-matching messages remain queued."""
+        return self._queue.get_matching(predicate, timeout)
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return f"<TaskContext {self.task_name!r} on {self.node_name!r}>"

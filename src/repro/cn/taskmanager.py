@@ -1,0 +1,268 @@
+"""TaskManager: hosts and executes tasks on one node.
+
+"TaskManager executes the various Tasks of various Jobs and is
+transparent to the user. ... TaskManager in turn sets up a message queue
+for each Task and then executes each Task in a separate thread when the
+User program requests to start the Task." (paper section 3)
+
+Resource model: a TaskManager has a memory capacity (the unit matches
+the descriptor's ``<memory>`` values) and a bounded number of execution
+slots.  Hosting a task reserves its memory immediately (the JAR is
+"uploaded" and the queue exists even before start); a slot is consumed
+only while the task thread runs.  Both are released on terminal states.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Callable, Optional, Type
+
+from .errors import CnError, ShutdownError, TaskLoadError
+from .job import Job, TaskRuntime, TaskState
+from .messages import Message, MessageType
+from .queues import MessageQueue
+from .runmodel import RunModel
+from .task import Task, TaskContext
+
+__all__ = ["TaskManager", "HostedTask"]
+
+
+class HostedTask:
+    """Bookkeeping for one task hosted by this TaskManager."""
+
+    def __init__(self, job: Job, runtime: TaskRuntime, task_class: Type[Task]) -> None:
+        self.job = job
+        self.runtime = runtime
+        self.task_class = task_class
+        self.thread: Optional[threading.Thread] = None
+        self.context: Optional[TaskContext] = None
+
+
+class TaskManager:
+    """One node's task execution component."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        memory_capacity: int = 8000,
+        slots: int = 64,
+    ) -> None:
+        self.name = name
+        self.memory_capacity = memory_capacity
+        self.slots = slots
+        self._memory_used = 0
+        self._slots_used = 0
+        self._hosted: dict[tuple[str, str], HostedTask] = {}
+        self._lock = threading.RLock()
+        self._shutdown = False
+
+    # -- capacity -----------------------------------------------------------
+    @property
+    def free_memory(self) -> int:
+        with self._lock:
+            return self.memory_capacity - self._memory_used
+
+    @property
+    def free_slots(self) -> int:
+        with self._lock:
+            return self.slots - self._slots_used
+
+    def can_host(self, memory: int, runmodel: RunModel) -> bool:
+        with self._lock:
+            if self._shutdown:
+                return False
+            if memory > self.memory_capacity - self._memory_used:
+                return False
+            if runmodel.occupies_slot and self._slots_used >= self.slots:
+                return False
+            return True
+
+    # -- hosting --------------------------------------------------------------
+    def host_task(self, job: Job, runtime: TaskRuntime, task_class: Type[Task]) -> None:
+        """Accept a task: reserve memory, create its message queue.
+
+        This is the receiving end of the JobManager's archive upload; the
+        class object stands in for the unpacked JAR.
+        """
+        with self._lock:
+            if self._shutdown:
+                raise ShutdownError(f"TaskManager {self.name!r} is shut down")
+            if not self.can_host(runtime.spec.memory, runtime.spec.runmodel):
+                raise CnError(
+                    f"TaskManager {self.name!r} cannot host {runtime.name!r}: "
+                    f"free memory {self.free_memory}, requested {runtime.spec.memory}"
+                )
+            self._memory_used += runtime.spec.memory
+            runtime.queue = MessageQueue(owner=f"{job.job_id}/{runtime.name}")
+            runtime.node_name = self.name
+            runtime.state = TaskState.CREATED
+            self._hosted[(job.job_id, runtime.name)] = HostedTask(job, runtime, task_class)
+
+    def start_task(
+        self,
+        job: Job,
+        name: str,
+        *,
+        on_terminal: Optional[Callable[[Job, TaskRuntime], None]] = None,
+        claim_only: bool = False,
+    ) -> bool:
+        """Run the task on its own thread (per its run model).
+
+        With ``claim_only`` a task that is not in CREATED state is simply
+        not started (returns False) instead of raising -- the scheduler
+        paths (start_job, completion cascade) race benignly on the same
+        ready set and use this to claim each task exactly once."""
+        with self._lock:
+            hosted = self._hosted.get((job.job_id, name))
+            if hosted is None:
+                raise CnError(f"TaskManager {self.name!r} does not host {name!r}")
+            runtime = hosted.runtime
+            if runtime.state is not TaskState.CREATED:
+                if claim_only:
+                    return False
+                raise CnError(
+                    f"task {name!r} cannot start from state {runtime.state.value}"
+                )
+            if runtime.spec.runmodel.occupies_slot:
+                self._slots_used += 1
+            runtime.state = TaskState.RUNNING
+        thread = threading.Thread(
+            target=self._run_task,
+            args=(hosted, on_terminal),
+            name=f"cn-task-{job.job_id}-{name}",
+            daemon=True,
+        )
+        hosted.thread = thread
+        job.route(
+            Message(
+                MessageType.TASK_STARTED,
+                sender=self.name,
+                recipient="client",
+                payload={"task": name, "node": self.name},
+            )
+        )
+        thread.start()
+        return True
+
+    def _run_task(
+        self,
+        hosted: HostedTask,
+        on_terminal: Optional[Callable[[Job, TaskRuntime], None]],
+    ) -> None:
+        job, runtime = hosted.job, hosted.runtime
+        context = TaskContext(
+            task_name=runtime.name,
+            job_id=job.job_id,
+            node_name=self.name,
+            peers=job.task_names(),
+            queue=runtime.queue,  # type: ignore[arg-type]
+            route=job.route,
+            tuple_space=job.tuple_space,
+            params=runtime.spec.params,
+            dependencies={
+                name: job.tasks[name].spec.depends for name in job.task_names()
+            },
+        )
+        hosted.context = context
+        outcome_type = MessageType.TASK_COMPLETED
+        payload: dict[str, Any]
+        runtime.attempts += 1
+        retrying = False
+        try:
+            instance = self._instantiate(hosted.task_class, runtime)
+            result = instance.run(context)
+        except ShutdownError:
+            runtime.state = TaskState.CANCELLED
+            outcome_type = MessageType.TASK_CANCELLED
+            payload = {"task": runtime.name}
+        except Exception:
+            runtime.error = traceback.format_exc()
+            if runtime.attempts <= runtime.spec.max_retries and not context.cancelled:
+                # failure with retry budget left: hand back to the
+                # JobManager for re-placement instead of failing the job
+                runtime.state = TaskState.RETRYING
+                retrying = True
+                outcome_type = MessageType.TASK_RETRY
+                payload = {
+                    "task": runtime.name,
+                    "attempt": runtime.attempts,
+                    "max_retries": runtime.spec.max_retries,
+                    "error": runtime.error,
+                }
+            else:
+                runtime.state = TaskState.FAILED
+                outcome_type = MessageType.TASK_FAILED
+                payload = {"task": runtime.name, "error": runtime.error}
+        else:
+            runtime.result = result
+            runtime.state = TaskState.COMPLETED
+            payload = {"task": runtime.name, "result": result}
+        finally:
+            self._release(runtime)
+        try:
+            job.route(
+                Message(outcome_type, sender=self.name, recipient="client", payload=payload)
+            )
+        except ShutdownError:
+            pass
+        if not retrying:
+            job.note_terminal(runtime.name)
+        if on_terminal is not None:
+            on_terminal(job, runtime)
+
+    def evict(self, job: Job, name: str) -> None:
+        """Forget a hosted task (used when a retry re-places elsewhere)."""
+        with self._lock:
+            self._hosted.pop((job.job_id, name), None)
+
+    def _instantiate(self, task_class: Type[Task], runtime: TaskRuntime) -> Task:
+        try:
+            return task_class(*runtime.spec.params)
+        except TypeError as exc:
+            raise TaskLoadError(
+                f"cannot construct {task_class.__name__} for task "
+                f"{runtime.name!r} with params {runtime.spec.params!r}: {exc}"
+            ) from exc
+
+    def _release(self, runtime: TaskRuntime) -> None:
+        with self._lock:
+            self._memory_used -= runtime.spec.memory
+            if runtime.spec.runmodel.occupies_slot:
+                self._slots_used -= 1
+
+    # -- cancellation / shutdown ---------------------------------------------------
+    def cancel_task(self, job: Job, name: str) -> None:
+        """Cooperatively cancel: flag the context and close the queue so a
+        blocked receive unblocks with ShutdownError."""
+        with self._lock:
+            hosted = self._hosted.get((job.job_id, name))
+        if hosted is None:
+            return
+        if hosted.context is not None:
+            hosted.context.cancelled = True
+        if hosted.runtime.queue is not None:
+            hosted.runtime.queue.close()
+
+    def hosted_count(self) -> int:
+        with self._lock:
+            return len(
+                [h for h in self._hosted.values() if not h.runtime.state.terminal]
+            )
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._shutdown = True
+            hosted = list(self._hosted.values())
+        for h in hosted:
+            if h.context is not None:
+                h.context.cancelled = True
+            if h.runtime.queue is not None:
+                h.runtime.queue.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<TaskManager {self.name!r} mem {self._memory_used}/"
+            f"{self.memory_capacity} slots {self._slots_used}/{self.slots}>"
+        )

@@ -1,0 +1,2 @@
+"""The paper's primary contribution: UML modeling, XMI interchange, CNX
+descriptors, and the generative transformation pipeline."""

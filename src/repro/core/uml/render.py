@@ -1,0 +1,112 @@
+"""Rendering of activity diagrams (paper Figs. 3 and 5).
+
+The paper shows the diagrams visually; we regenerate them as Graphviz DOT
+(for documentation) and as a deterministic ASCII layout (for terminals
+and golden tests).  The ASCII renderer arranges vertices in dependency
+levels, which for the guiding example reproduces the split / concurrent
+workers / join shape of Fig. 3.
+"""
+
+from __future__ import annotations
+
+import io
+from collections import defaultdict
+
+from .activity import (
+    ActionState,
+    ActivityGraph,
+    FinalState,
+    Pseudostate,
+    StateVertex,
+)
+
+__all__ = ["to_dot", "to_ascii", "level_layout"]
+
+
+def _dot_shape(vertex: StateVertex) -> str:
+    if isinstance(vertex, ActionState):
+        # UML action states draw as rounded rectangles; dynamic invocation
+        # is marked with the multiplicity in the label (Fig. 5).
+        label = vertex.name
+        if vertex.is_dynamic:
+            label += f"\\n{vertex.dynamic_multiplicity or '*'}"
+        return f'[shape=box, style=rounded, label="{label}"]'
+    if isinstance(vertex, FinalState):
+        return '[shape=doublecircle, label="", width=0.2]'
+    assert isinstance(vertex, Pseudostate)
+    if vertex.pseudo_kind == "initial":
+        return '[shape=circle, style=filled, fillcolor=black, label="", width=0.15]'
+    # fork / join draw as synchronization bars
+    return '[shape=box, style=filled, fillcolor=black, label="", height=0.06, width=1.2]'
+
+
+def to_dot(graph: ActivityGraph) -> str:
+    """Render *graph* as a Graphviz digraph."""
+    buf = io.StringIO()
+    buf.write(f'digraph "{graph.name}" {{\n')
+    buf.write("  rankdir=TB;\n")
+    ids = {id(v): f"n{i}" for i, v in enumerate(graph.vertices)}
+    for vertex in graph.vertices:
+        buf.write(f"  {ids[id(vertex)]} {_dot_shape(vertex)};\n")
+    for transition in graph.transitions:
+        label = f' [label="{transition.guard}"]' if transition.guard else ""
+        buf.write(
+            f"  {ids[id(transition.source)]} -> {ids[id(transition.target)]}{label};\n"
+        )
+    buf.write("}\n")
+    return buf.getvalue()
+
+
+def level_layout(graph: ActivityGraph) -> list[list[StateVertex]]:
+    """Group vertices into longest-path levels from the initial state."""
+    level: dict[int, int] = {}
+    order: list[StateVertex] = []
+
+    # Kahn-style labeling over the (acyclic) transition graph.
+    indegree = {id(v): len(v.incoming) for v in graph.vertices}
+    ready = [v for v in graph.vertices if indegree[id(v)] == 0]
+    for v in ready:
+        level[id(v)] = 0
+    while ready:
+        vertex = ready.pop(0)
+        order.append(vertex)
+        for succ in vertex.successors():
+            candidate = level[id(vertex)] + 1
+            if candidate > level.get(id(succ), -1):
+                level[id(succ)] = candidate
+            indegree[id(succ)] -= 1
+            if indegree[id(succ)] == 0:
+                ready.append(succ)
+    depth = max(level.values(), default=0)
+    rows: list[list[StateVertex]] = [[] for _ in range(depth + 1)]
+    for vertex in graph.vertices:
+        rows[level.get(id(vertex), depth)].append(vertex)
+    for row in rows:
+        row.sort(key=lambda v: v.name)
+    return [row for row in rows if row]
+
+
+def _ascii_label(vertex: StateVertex) -> str:
+    if isinstance(vertex, ActionState):
+        name = vertex.name
+        if vertex.is_dynamic:
+            name += f" x{vertex.dynamic_multiplicity or '*'}"
+        return f"[{name}]"
+    if isinstance(vertex, FinalState):
+        return "((final))"
+    assert isinstance(vertex, Pseudostate)
+    if vertex.pseudo_kind == "initial":
+        return "(initial)"
+    return f"=={vertex.pseudo_kind}=="
+
+
+def to_ascii(graph: ActivityGraph) -> str:
+    """Deterministic ASCII rendering, one dependency level per line."""
+    buf = io.StringIO()
+    buf.write(f"activity {graph.name}\n")
+    rows = level_layout(graph)
+    for i, row in enumerate(rows):
+        buf.write("   " + "   ".join(_ascii_label(v) for v in row) + "\n")
+        if i < len(rows) - 1:
+            buf.write("      |\n")
+    return buf.getvalue()

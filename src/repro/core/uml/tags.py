@@ -1,0 +1,157 @@
+"""UML tagged values and tag definitions (UML 1.x extension mechanism).
+
+The paper configures each task through tagged values on its action state
+(Fig. 4): the archive (``jar``), the implementation ``class``, a
+``memory`` requirement, the ``runmodel``, and indexed task parameters
+``ptype0``/``pvalue0``, ``ptype1``/``pvalue1``, ...  This module models
+tag definitions and values generically, plus helpers for the CN profile.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+__all__ = [
+    "TagDefinition",
+    "TaggedValue",
+    "TaggedElement",
+    "CNProfile",
+    "CN_TAG_JAR",
+    "CN_TAG_CLASS",
+    "CN_TAG_MEMORY",
+    "CN_TAG_RUNMODEL",
+    "param_tag_names",
+]
+
+CN_TAG_JAR = "jar"
+CN_TAG_CLASS = "class"
+CN_TAG_MEMORY = "memory"
+CN_TAG_RUNMODEL = "runmodel"
+
+_PTYPE_RE = re.compile(r"^ptype(\d+)$")
+_PVALUE_RE = re.compile(r"^pvalue(\d+)$")
+
+
+@dataclass(frozen=True)
+class TagDefinition:
+    """A named tag (``UML:TagDefinition``).  ``xmi_id`` is assigned by the
+    XMI writer; model-level code identifies definitions by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class TaggedValue:
+    """A (definition, value) pair attached to a model element."""
+
+    definition: TagDefinition
+    value: str
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+
+class TaggedElement:
+    """Mixin for model elements that carry tagged values."""
+
+    def __init__(self) -> None:
+        self.tagged_values: list[TaggedValue] = []
+
+    def set_tag(self, name: str, value: str) -> TaggedValue:
+        """Set (or replace) the tagged value *name*."""
+        for tv in self.tagged_values:
+            if tv.name == name:
+                tv.value = value
+                return tv
+        tv = TaggedValue(TagDefinition(name), str(value))
+        self.tagged_values.append(tv)
+        return tv
+
+    def get_tag(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        for tv in self.tagged_values:
+            if tv.name == name:
+                return tv.value
+        return default
+
+    def has_tag(self, name: str) -> bool:
+        return any(tv.name == name for tv in self.tagged_values)
+
+    def tags_dict(self) -> dict[str, str]:
+        return {tv.name: tv.value for tv in self.tagged_values}
+
+
+def param_tag_names(index: int) -> tuple[str, str]:
+    """The (ptype, pvalue) tag names for parameter *index*."""
+    return f"ptype{index}", f"pvalue{index}"
+
+
+class CNProfile:
+    """Helpers for the CN tagged-value profile on action states."""
+
+    REQUIRED = (CN_TAG_JAR, CN_TAG_CLASS)
+    KNOWN_RUNMODELS = (
+        "RUN_AS_THREAD_IN_TM",
+        "RUN_AS_PROCESS",
+        "RUN_IN_JOBMANAGER",
+    )
+
+    @staticmethod
+    def apply(
+        element: TaggedElement,
+        *,
+        jar: str,
+        cls: str,
+        memory: int = 1000,
+        runmodel: str = "RUN_AS_THREAD_IN_TM",
+        params: Iterable[tuple[str, str]] = (),
+    ) -> None:
+        """Attach the full CN tag set for one task to *element*.
+
+        *params* is an ordered iterable of ``(type_name, value)`` pairs,
+        emitted as ``ptypeN``/``pvalueN`` with N counting from zero
+        (matching paper Fig. 4, where TCTask2 has ``ptype0 =
+        java.lang.Integer`` and ``pvalue0 = 2``)."""
+        element.set_tag(CN_TAG_JAR, jar)
+        element.set_tag(CN_TAG_CLASS, cls)
+        element.set_tag(CN_TAG_MEMORY, str(memory))
+        element.set_tag(CN_TAG_RUNMODEL, runmodel)
+        for index, (ptype, pvalue) in enumerate(params):
+            tname, vname = param_tag_names(index)
+            element.set_tag(tname, ptype)
+            element.set_tag(vname, str(pvalue))
+
+    @staticmethod
+    def params(element: TaggedElement) -> list[tuple[str, str]]:
+        """Extract the ordered ``(type, value)`` parameter list from the
+        indexed ptype/pvalue tags.  Raises ``ValueError`` on gaps or a
+        type without a value."""
+        types: dict[int, str] = {}
+        values: dict[int, str] = {}
+        for tv in element.tagged_values:
+            m = _PTYPE_RE.match(tv.name)
+            if m:
+                types[int(m.group(1))] = tv.value
+                continue
+            m = _PVALUE_RE.match(tv.name)
+            if m:
+                values[int(m.group(1))] = tv.value
+        if set(types) != set(values):
+            missing = sorted(set(types) ^ set(values))
+            raise ValueError(f"unpaired ptype/pvalue indices: {missing}")
+        if types and sorted(types) != list(range(len(types))):
+            raise ValueError(f"parameter indices not contiguous: {sorted(types)}")
+        return [(types[i], values[i]) for i in sorted(types)]
+
+    @staticmethod
+    def iter_cn_tags(element: TaggedElement) -> Iterator[TaggedValue]:
+        for tv in element.tagged_values:
+            if tv.name in (CN_TAG_JAR, CN_TAG_CLASS, CN_TAG_MEMORY, CN_TAG_RUNMODEL):
+                yield tv
+            elif _PTYPE_RE.match(tv.name) or _PVALUE_RE.match(tv.name):
+                yield tv

@@ -1,0 +1,13 @@
+"""XMI 1.2 / UML 1.x export and import (paper Fig. 7 vocabulary)."""
+
+from .reader import XmiReadError, read_graphs, read_model
+from .writer import XmiWriter, write_graph, write_model
+
+__all__ = [
+    "XmiWriter",
+    "write_model",
+    "write_graph",
+    "read_model",
+    "read_graphs",
+    "XmiReadError",
+]

@@ -1,0 +1,216 @@
+"""XMI 1.2 / UML 1.x import: parse an XMI document back into the model.
+
+The reader accepts documents produced by :mod:`repro.core.xmi.writer` as
+well as "foreign" exports with the same UML 1.x vocabulary (the paper's
+toolchain targeted tools like Poseidon).  It is deliberately tolerant of
+extra elements it does not understand -- real exporters embed diagram
+geometry, stereotypes, and vendor extensions -- and strict about the
+things the transform depends on: id/idref integrity, tagged-value types,
+and transition endpoints.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from repro.util.xmlutil import parse_prefixed
+
+from ..uml.activity import (
+    ActionState,
+    ActivityGraph,
+    FinalState,
+    Pseudostate,
+    StateVertex,
+)
+from ..uml.model import Model, Package
+
+__all__ = ["XmiReadError", "read_model", "read_graphs"]
+
+
+class XmiReadError(ValueError):
+    """Raised on structurally broken XMI (dangling idrefs, bad kinds)."""
+
+
+def _findall(elem: ET.Element, dotted: str) -> list[ET.Element]:
+    return elem.findall(f".//{dotted}")
+
+
+def _children(elem: ET.Element, dotted: str) -> list[ET.Element]:
+    return [c for c in elem if c.tag == dotted]
+
+
+def read_model(text: str | ET.Element) -> Model:
+    """Parse an XMI document string (undeclared ``UML:`` prefixes allowed)
+    into a :class:`~repro.core.uml.model.Model`."""
+    root = parse_prefixed(text) if isinstance(text, str) else text
+    if root.tag != "XMI":
+        raise XmiReadError(f"not an XMI document (root {root.tag!r})")
+    model_elems = _findall(root, "UML.Model")
+    if not model_elems:
+        raise XmiReadError("no UML:Model in document")
+    model_elem = model_elems[0]
+    model = Model(model_elem.get("name", "model"))
+
+    tagdefs = _read_tagdefs(root)
+
+    packages = _findall(model_elem, "UML.Package")
+    if not packages:
+        # Some exporters put graphs directly under the model.
+        package = model.new_package("default")
+        for graph_elem in _findall(model_elem, "UML.ActivityGraph"):
+            package.add_graph(_read_graph(graph_elem, tagdefs))
+        return model
+    for pkg_elem in packages:
+        package = model.new_package(pkg_elem.get("name", "package"))
+        graph_names: dict[str, str] = {}
+        for graph_elem in _findall(pkg_elem, "UML.ActivityGraph"):
+            if graph_elem.get("xmi.idref") is not None:
+                continue  # dependency reference, not a declaration
+            package.add_graph(_read_graph(graph_elem, tagdefs))
+            if graph_elem.get("xmi.id"):
+                graph_names[graph_elem.get("xmi.id")] = graph_elem.get("name", "job")
+        _read_job_order(pkg_elem, package, graph_names)
+    return model
+
+
+def _read_job_order(pkg_elem: ET.Element, package: Package, graph_names: dict[str, str]) -> None:
+    """Rebuild the client-level partial order from UML:Dependency elements."""
+    for dep in _findall(pkg_elem, "UML.Dependency"):
+        client_refs = [
+            e.get("xmi.idref")
+            for container in _children(dep, "UML.Dependency.client")
+            for e in container
+        ]
+        supplier_refs = [
+            e.get("xmi.idref")
+            for container in _children(dep, "UML.Dependency.supplier")
+            for e in container
+        ]
+        for supplier in supplier_refs:
+            for client in client_refs:
+                if supplier in graph_names and client in graph_names:
+                    package.order_jobs(graph_names[supplier], graph_names[client])
+
+
+def read_graphs(text: str | ET.Element) -> list[ActivityGraph]:
+    """All activity graphs in the document, flattened across packages."""
+    return read_model(text).all_graphs()
+
+
+def _read_tagdefs(root: ET.Element) -> dict[str, str]:
+    """Map ``xmi.id`` -> tag name for every TagDefinition declaration
+    (an element carrying a name; pure idref references carry none)."""
+    mapping: dict[str, str] = {}
+    for elem in _findall(root, "UML.TagDefinition"):
+        xmi_id = elem.get("xmi.id")
+        name = elem.get("name")
+        if xmi_id and name:
+            mapping[xmi_id] = name
+    return mapping
+
+
+_VERTEX_TAGS = {
+    "UML.ActionState": "action",
+    "UML.Pseudostate": "pseudo",
+    "UML.FinalState": "final",
+    "UML.StateVertex": "any",
+    "UML.CallState": "action",  # some tools export CallState for actions
+}
+
+
+def _read_graph(graph_elem: ET.Element, tagdefs: dict[str, str]) -> ActivityGraph:
+    graph = ActivityGraph(graph_elem.get("name", "job"))
+    by_id: dict[str, StateVertex] = {}
+
+    # Walk vertex declarations in document order so a re-export of the
+    # parsed model is byte-identical to the original document.
+    for elem in graph_elem.iter():
+        kind = _VERTEX_TAGS.get(elem.tag)
+        if kind is None or kind == "any":
+            continue
+        if elem.get("xmi.idref") is not None:
+            continue  # a reference, not a declaration
+        vertex = _make_vertex(graph, elem, kind, tagdefs)
+        xmi_id = elem.get("xmi.id")
+        if xmi_id:
+            by_id[xmi_id] = vertex
+
+    for trans_elem in _findall(graph_elem, "UML.Transition"):
+        if trans_elem.get("xmi.idref") is not None:
+            continue
+        source = _endpoint(trans_elem, "UML.Transition.source", by_id, graph)
+        target = _endpoint(trans_elem, "UML.Transition.target", by_id, graph)
+        graph.add_transition(source, target)
+    return graph
+
+
+def _make_vertex(
+    graph: ActivityGraph, elem: ET.Element, kind: str, tagdefs: dict[str, str]
+) -> StateVertex:
+    name = elem.get("name", "")
+    if kind == "action":
+        is_dynamic = elem.get("isDynamic", "false") == "true"
+        dynamic_args = ""
+        for arg_elem in _findall(elem, "UML.ArgListsExpression"):
+            dynamic_args = arg_elem.get("body", "")
+        vertex: StateVertex = graph.add_action(
+            name,
+            is_dynamic=is_dynamic,
+            dynamic_multiplicity=elem.get("dynamicMultiplicity", ""),
+            dynamic_arguments=dynamic_args,
+        )
+        _read_tagged_values(vertex, elem, tagdefs)
+        return vertex
+    if kind == "final":
+        return graph.add_final(name or "final")
+    pseudo_kind = elem.get("kind", "initial")
+    if pseudo_kind == "initial":
+        return graph.add_initial(name or "initial")
+    if pseudo_kind == "fork":
+        return graph.add_fork(name or "fork")
+    if pseudo_kind == "join":
+        return graph.add_join(name or "join")
+    raise XmiReadError(f"unsupported pseudostate kind {pseudo_kind!r}")
+
+
+def _read_tagged_values(
+    vertex: StateVertex, elem: ET.Element, tagdefs: dict[str, str]
+) -> None:
+    for tv_elem in _findall(elem, "UML.TaggedValue"):
+        value = tv_elem.get("dataValue")
+        if value is None:
+            # Some exporters use a child <UML:TaggedValue.dataValue> text node.
+            data_elems = _findall(tv_elem, "UML.TaggedValue.dataValue")
+            value = data_elems[0].text or "" if data_elems else ""
+        name: Optional[str] = None
+        for ref in _findall(tv_elem, "UML.TagDefinition"):
+            idref = ref.get("xmi.idref")
+            if idref is not None:
+                name = tagdefs.get(idref)
+                if name is None:
+                    raise XmiReadError(f"TaggedValue references unknown TagDefinition {idref!r}")
+            elif ref.get("name"):
+                name = ref.get("name")
+        if name is None:
+            raise XmiReadError(f"TaggedValue on {vertex.name!r} lacks a tag definition")
+        vertex.set_tag(name, value)
+
+
+def _endpoint(
+    trans_elem: ET.Element,
+    container_tag: str,
+    by_id: dict[str, StateVertex],
+    graph: ActivityGraph,
+) -> StateVertex:
+    containers = _children(trans_elem, container_tag)
+    if not containers:
+        raise XmiReadError(f"transition missing {container_tag}")
+    for ref in containers[0]:
+        idref = ref.get("xmi.idref")
+        if idref is not None:
+            vertex = by_id.get(idref)
+            if vertex is None:
+                raise XmiReadError(f"transition references unknown vertex {idref!r}")
+            return vertex
+    raise XmiReadError(f"no idref inside {container_tag}")

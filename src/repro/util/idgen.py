@@ -1,0 +1,52 @@
+"""Deterministic identifier generation.
+
+Both the XMI writer and the CN runtime need streams of unique short ids.
+The paper's XMI exporter used ids like ``a89``; reproducing that style
+keeps generated documents diff-able against Fig. 7.  Randomness is
+deliberately avoided so every run of the pipeline produces byte-identical
+artifacts (a property the test suite relies on).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+__all__ = ["IdGenerator", "SequentialIds"]
+
+
+class SequentialIds:
+    """Thread-safe ``prefix1, prefix2, ...`` id stream."""
+
+    def __init__(self, prefix: str = "a", start: int = 1) -> None:
+        self._prefix = prefix
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+
+    def next(self) -> str:
+        with self._lock:
+            return f"{self._prefix}{next(self._counter)}"
+
+    def __iter__(self):
+        while True:
+            yield self.next()
+
+
+class IdGenerator:
+    """Namespaced id generator: independent sequential streams per kind.
+
+    >>> gen = IdGenerator()
+    >>> gen.next("task"), gen.next("task"), gen.next("job")
+    ('task1', 'task2', 'job1')
+    """
+
+    def __init__(self) -> None:
+        self._streams: dict[str, SequentialIds] = {}
+        self._lock = threading.Lock()
+
+    def next(self, kind: str) -> str:
+        with self._lock:
+            stream = self._streams.get(kind)
+            if stream is None:
+                stream = self._streams[kind] = SequentialIds(prefix=kind)
+        return stream.next()

@@ -1,0 +1,933 @@
+"""XSLT 1.0 subset engine.
+
+Supports the instruction set the repository's stylesheets (and a useful
+superset of real-world sheets) need:
+
+``xsl:template`` (match/name/mode/priority), ``xsl:apply-templates``
+(select/mode/sort/with-param), ``xsl:call-template``, ``xsl:value-of``,
+``xsl:for-each`` (with sort), ``xsl:if``, ``xsl:choose/when/otherwise``,
+``xsl:text``, ``xsl:element``, ``xsl:attribute``, ``xsl:comment``,
+``xsl:variable``/``xsl:param``/``xsl:with-param`` (select or content ->
+result-tree fragments), ``xsl:copy``, ``xsl:copy-of``, ``xsl:message``,
+``xsl:sort``, ``xsl:include``, ``xsl:output``, ``xsl:strip-space`` /
+``xsl:preserve-space``, attribute value templates, built-in template
+rules, template conflict resolution by priority and document order,
+``xsl:key``/``key()`` hash joins, and the XSLT additions ``current()``
+and ``generate-id()`` to the XPath function library.
+
+``xsl:import`` with real
+import precedence is supported (importing sheets outrank imports), as is
+``xsl:apply-imports``.
+
+Omissions (documented, not silently wrong): ``xsl:number``,
+``document()``, namespace-alias, and extension elements.  The engine raises
+:class:`XsltError` on any unsupported instruction so stylesheets fail
+loudly rather than misbehave.
+"""
+
+from __future__ import annotations
+
+import sys
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional, Sequence, Union
+
+from .output import OutComment, OutElement, OutputBuilder, OutputSettings, serialize
+from .patterns import Pattern, compile_pattern
+from .xpath.datamodel import (
+    XAttribute,
+    XComment,
+    XDocument,
+    XElement,
+    XNode,
+    XText,
+    build_document,
+)
+from .xpath.evaluator import Context, evaluate, evaluate_boolean, evaluate_nodeset, evaluate_string
+from .xpath.functions import CORE_FUNCTIONS, to_nodeset, to_number, to_string
+
+XSL_NS = "http://www.w3.org/1999/XSL/Transform"
+_XSL = "{%s}" % XSL_NS
+
+__all__ = ["Stylesheet", "Transformer", "XsltError", "ResultTreeFragment", "XSL_NS"]
+
+
+class XsltError(Exception):
+    """Raised for stylesheet compilation or execution errors."""
+
+
+class ResultTreeFragment:
+    """The value of an ``xsl:variable`` with content (an RTF).
+
+    Converts to string via the concatenated text, and can be spliced into
+    the output by ``xsl:copy-of``.
+    """
+
+    def __init__(self, top: list) -> None:
+        self.top = top
+
+    def string_value(self) -> str:
+        parts: list[str] = []
+
+        def walk(item) -> None:
+            if isinstance(item, str):
+                parts.append(item)
+            elif isinstance(item, OutElement):
+                for child in item.children:
+                    walk(child)
+
+        for item in self.top:
+            walk(item)
+        return "".join(parts)
+
+
+@dataclass
+class TemplateRule:
+    pattern: Optional[Pattern]
+    name: Optional[str]
+    mode: Optional[str]
+    priority: float
+    params: list[ET.Element]
+    body: list
+    order: int
+    precedence: int = 0  # import precedence; importer > imported
+
+
+@dataclass
+class _Frame:
+    """One variable scope."""
+
+    bindings: dict[str, Any] = field(default_factory=dict)
+
+
+def _is_xsl(elem: ET.Element, local: str | None = None) -> bool:
+    if not isinstance(elem.tag, str) or not elem.tag.startswith(_XSL):
+        return False
+    return local is None or elem.tag == _XSL + local
+
+
+def _local(elem: ET.Element) -> str:
+    return elem.tag[len(_XSL) :]
+
+
+def _body_items(elem: ET.Element) -> list:
+    """Mixed-content body of a stylesheet element: interleaved text and
+    child elements, with stylesheet-whitespace stripping applied."""
+    items: list = []
+    if elem.text and elem.text.strip():
+        items.append(elem.text)
+    for child in elem:
+        items.append(child)
+        if child.tail and child.tail.strip():
+            items.append(child.tail)
+    return items
+
+
+# ---------------------------------------------------------------------------
+# Attribute value templates
+# ---------------------------------------------------------------------------
+
+def _split_avt(value: str) -> list[tuple[bool, str]]:
+    """Split an attribute value template into (is_expr, text) chunks."""
+    chunks: list[tuple[bool, str]] = []
+    buf: list[str] = []
+    i, n = 0, len(value)
+    while i < n:
+        ch = value[i]
+        if ch == "{":
+            if value.startswith("{{", i):
+                buf.append("{")
+                i += 2
+                continue
+            end = value.find("}", i)
+            if end < 0:
+                raise XsltError(f"unterminated {{...}} in AVT: {value!r}")
+            if buf:
+                chunks.append((False, "".join(buf)))
+                buf = []
+            chunks.append((True, value[i + 1 : end]))
+            i = end + 1
+            continue
+        if ch == "}":
+            if value.startswith("}}", i):
+                buf.append("}")
+                i += 2
+                continue
+            raise XsltError(f"lone '}}' in AVT: {value!r}")
+        buf.append(ch)
+        i += 1
+    if buf:
+        chunks.append((False, "".join(buf)))
+    return chunks
+
+
+# ---------------------------------------------------------------------------
+# Stylesheet
+# ---------------------------------------------------------------------------
+
+class Stylesheet:
+    """A compiled stylesheet: template rules, output settings, globals."""
+
+    def __init__(self) -> None:
+        self.rules: list[TemplateRule] = []
+        self.named: dict[str, TemplateRule] = {}
+        self.output = OutputSettings()
+        self.globals: list[ET.Element] = []  # top-level xsl:variable / xsl:param
+        self.strip_space: set[str] = set()
+        self.preserve_space: set[str] = set()
+        self.keys: dict[str, tuple[Pattern, str]] = {}
+        self._order = 0
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_string(cls, text: str, *, base_dir: Optional[Path] = None) -> "Stylesheet":
+        sheet = cls()
+        sheet._load(ET.fromstring(text), base_dir)
+        return sheet
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "Stylesheet":
+        path = Path(path)
+        sheet = cls()
+        sheet._load(ET.fromstring(path.read_text()), path.parent)
+        return sheet
+
+    def _load(
+        self,
+        root: ET.Element,
+        base_dir: Optional[Path],
+        precedence_counter: Optional[list[int]] = None,
+    ) -> None:
+        """Compile *root*.  ``precedence_counter`` is a shared mutable
+        counter implementing XSLT import precedence: imports are loaded
+        first (depth-first, in document order), each complete sheet takes
+        the next counter value, so an importing sheet always outranks
+        everything it imports and later imports outrank earlier ones."""
+        if root.tag not in (_XSL + "stylesheet", _XSL + "transform"):
+            raise XsltError(f"not a stylesheet root: {root.tag}")
+        if precedence_counter is None:
+            precedence_counter = [0]
+        # imports first (the spec requires them first in the document)
+        for child in root:
+            if isinstance(child.tag, str) and child.tag == _XSL + "import":
+                if base_dir is None:
+                    raise XsltError("xsl:import requires a base directory")
+                href = child.get("href")
+                if not href:
+                    raise XsltError("xsl:import without href")
+                imported = Stylesheet()
+                path = Path(base_dir) / href
+                imported._load(
+                    ET.fromstring(path.read_text()), path.parent, precedence_counter
+                )
+                self._merge(imported)
+        self._current_precedence = precedence_counter[0]
+        precedence_counter[0] += 1
+        for child in root:
+            if not isinstance(child.tag, str):
+                continue
+            if not child.tag.startswith(_XSL):
+                continue  # top-level literal elements are ignored
+            local = _local(child)
+            if local == "import":
+                continue  # handled above
+            if local == "template":
+                self._add_template(child)
+            elif local == "output":
+                self.output = OutputSettings(
+                    method=child.get("method", "xml"),
+                    indent=child.get("indent", "no") == "yes",
+                    omit_xml_declaration=child.get("omit-xml-declaration", "no") == "yes",
+                    encoding=child.get("encoding", "UTF-8"),
+                )
+            elif local in ("variable", "param"):
+                self.globals.append(child)
+            elif local == "strip-space":
+                self.strip_space.update(child.get("elements", "").split())
+            elif local == "preserve-space":
+                self.preserve_space.update(child.get("elements", "").split())
+            elif local == "include":
+                if base_dir is None:
+                    raise XsltError("xsl:include requires a base directory")
+                href = child.get("href")
+                if not href:
+                    raise XsltError("xsl:include without href")
+                included = Stylesheet.from_file(base_dir / href)
+                self._merge(included)
+            elif local == "key":
+                name = child.get("name")
+                match = child.get("match")
+                use = child.get("use")
+                if not (name and match and use):
+                    raise XsltError("xsl:key requires name, match and use")
+                self.keys[name] = (compile_pattern(match), use)
+            elif local in ("namespace-alias", "decimal-format", "attribute-set"):
+                raise XsltError(f"unsupported top-level instruction xsl:{local}")
+            # anything else at top level: ignore (comments etc.)
+
+    def _merge(self, other: "Stylesheet") -> None:
+        for rule in other.rules:
+            rule.order = self._order
+            self._order += 1
+            self.rules.append(rule)  # keeps the precedence it was loaded with
+        self.named.update(other.named)
+        self.globals.extend(other.globals)
+        self.strip_space |= other.strip_space
+        self.preserve_space |= other.preserve_space
+        self.keys.update(other.keys)
+
+    def _add_template(self, elem: ET.Element) -> None:
+        match = elem.get("match")
+        name = elem.get("name")
+        if match is None and name is None:
+            raise XsltError("xsl:template needs match= or name=")
+        mode = elem.get("mode")
+        params = [c for c in elem if isinstance(c.tag, str) and c.tag == _XSL + "param"]
+        body = [
+            item
+            for item in _body_items(elem)
+            if not (isinstance(item, ET.Element) and _is_xsl(item, "param"))
+        ]
+        precedence = getattr(self, "_current_precedence", 0)
+        if match is not None:
+            pattern = compile_pattern(match)
+            explicit = elem.get("priority")
+            # Per spec, a union pattern behaves as separate rules, each with
+            # its own default priority.
+            for alt in pattern.split():
+                priority = (
+                    float(explicit) if explicit is not None else alt.default_priority()
+                )
+                rule = TemplateRule(
+                    alt, name, mode, priority, params, body, self._order, precedence
+                )
+                self._order += 1
+                self.rules.append(rule)
+        else:
+            rule = TemplateRule(None, name, mode, 0.0, params, body, self._order, precedence)
+            self._order += 1
+        if name is not None:
+            self.named[name] = TemplateRule(
+                None, name, mode, 0.0, params, body, self._order, precedence
+            )
+
+    # -- rule lookup ------------------------------------------------------------
+    def find_rule(
+        self,
+        node: XNode,
+        mode: Optional[str],
+        context: Context,
+        *,
+        max_precedence: Optional[int] = None,
+    ) -> Optional[TemplateRule]:
+        """The winning rule for *node*; ``max_precedence`` restricts the
+        search to strictly lower import precedence (xsl:apply-imports)."""
+        best: Optional[TemplateRule] = None
+        for rule in self.rules:
+            if rule.pattern is None or rule.mode != mode:
+                continue
+            if max_precedence is not None and rule.precedence >= max_precedence:
+                continue
+            if not rule.pattern.matches(node, context):
+                continue
+            if best is None or (
+                (rule.precedence, rule.priority, rule.order)
+                > (best.precedence, best.priority, best.order)
+            ):
+                best = rule
+        return best
+
+
+# ---------------------------------------------------------------------------
+# Transformer
+# ---------------------------------------------------------------------------
+
+class Transformer:
+    """Executes a :class:`Stylesheet` against a source document."""
+
+    def __init__(
+        self,
+        stylesheet: Stylesheet,
+        *,
+        extra_functions: Optional[Mapping[str, Any]] = None,
+        message_stream=None,
+    ) -> None:
+        self.stylesheet = stylesheet
+        self.extra_functions = dict(extra_functions or {})
+        self.message_stream = message_stream if message_stream is not None else sys.stderr
+        self._current_node: Optional[XNode] = None
+        self._current_rule: Optional[TemplateRule] = None
+        self._id_cache: dict[int, str] = {}
+        self._key_tables: dict[str, dict[str, list[XNode]]] = {}
+        self._doc: Optional[XDocument] = None
+
+    # -- public API ---------------------------------------------------------
+    def transform(
+        self,
+        source: Union[str, ET.Element, XDocument],
+        params: Optional[Mapping[str, Any]] = None,
+        *,
+        restore_prefixes: bool = False,
+    ) -> str:
+        top = self.transform_to_tree(source, params, restore_prefixes=restore_prefixes)
+        return serialize(top, self.stylesheet.output)
+
+    def transform_to_tree(
+        self,
+        source: Union[str, ET.Element, XDocument],
+        params: Optional[Mapping[str, Any]] = None,
+        *,
+        restore_prefixes: bool = False,
+    ) -> list:
+        if isinstance(source, XDocument):
+            doc = source
+        else:
+            doc = build_document(source, restore_prefixes=restore_prefixes)
+        self._apply_strip_space(doc)
+        self._doc = doc
+        self._key_tables = {}
+        builder = OutputBuilder()
+        frames = [_Frame()]
+        self._bind_globals(doc, frames, dict(params or {}))
+        self._apply_templates([doc], None, {}, doc, frames, builder)
+        return builder.finish()
+
+    # -- setup ----------------------------------------------------------------
+    def _apply_strip_space(self, doc: XDocument) -> None:
+        strip = self.stylesheet.strip_space
+        if not strip:
+            return
+        preserve = self.stylesheet.preserve_space
+
+        def should_strip(name: str) -> bool:
+            if name in preserve:
+                return False
+            return "*" in strip or name in strip
+
+        def walk(node: XNode) -> None:
+            if isinstance(node, XElement) and should_strip(node.name):
+                node._children[:] = [
+                    c
+                    for c in node._children
+                    if not (isinstance(c, XText) and not c.value.strip())
+                ]
+            for child in node.children():
+                walk(child)
+
+        walk(doc)
+
+    def _functions(self) -> dict[str, Any]:
+        cached = getattr(self, "_functions_cache", None)
+        if cached is not None:
+            return cached
+        fns = dict(CORE_FUNCTIONS)
+        fns.update(self.extra_functions)
+        fns["current"] = lambda ctx: (
+            [self._current_node] if self._current_node is not None else []
+        )
+        fns["key"] = self._fn_key
+        fns["generate-id"] = self._fn_generate_id
+        fns["system-property"] = lambda ctx, name: ""
+        fns["function-available"] = lambda ctx, name: to_string(name) in fns
+        fns["element-available"] = lambda ctx, name: False
+        self._functions_cache = fns
+        return fns
+
+    def _key_table(self, name: str) -> dict[str, list[XNode]]:
+        """Build (once per document) the hash table for xsl:key *name*:
+        every node matching the key's pattern is indexed under each
+        string produced by its ``use`` expression -- this is how real
+        processors make id/idref joins linear."""
+        table = self._key_tables.get(name)
+        if table is not None:
+            return table
+        declaration = self.stylesheet.keys.get(name)
+        if declaration is None:
+            raise XsltError(f"no xsl:key named {name!r}")
+        pattern, use = declaration
+        table = {}
+        assert self._doc is not None
+        probe_context = Context(self._doc, 1, 1, {}, self._functions())
+        for node in self._doc.descendants_list():
+            if node.node_type not in ("element",):
+                continue
+            if not pattern.matches(node, probe_context):
+                continue
+            node_ctx = Context(node, 1, 1, {}, self._functions())
+            value = evaluate(use, node_ctx)
+            if isinstance(value, list):
+                strings = [v.string_value() for v in value]
+            else:
+                strings = [to_string(value)]
+            for s in strings:
+                table.setdefault(s, []).append(node)
+        self._key_tables[name] = table
+        return table
+
+    def _fn_key(self, ctx: Context, name: Any, value: Any) -> list[XNode]:
+        table = self._key_table(to_string(name))
+        if isinstance(value, list):
+            gathered: list[XNode] = []
+            seen: set[int] = set()
+            for node in value:
+                for hit in table.get(node.string_value(), ()):
+                    if id(hit) not in seen:
+                        seen.add(id(hit))
+                        gathered.append(hit)
+            gathered.sort(key=lambda n: n.doc_order)
+            return gathered
+        return list(table.get(to_string(value), ()))
+
+    def _fn_generate_id(self, ctx: Context, *args: Any) -> str:
+        if args:
+            nodes = to_nodeset(args[0])
+            if not nodes:
+                return ""
+            node = nodes[0]
+        else:
+            node = ctx.node
+        key = id(node)
+        if key not in self._id_cache:
+            self._id_cache[key] = f"id{node.doc_order}"
+        return self._id_cache[key]
+
+    def _context(self, node: XNode, position: int, size: int, frames: list[_Frame]) -> Context:
+        # innermost frame wins; ChainMap avoids copying every binding on
+        # every instruction (a hot path in template-dense stylesheets)
+        from collections import ChainMap
+
+        merged = ChainMap(*[frame.bindings for frame in reversed(frames)])
+        return Context(node, position, size, merged, self._functions())
+
+    def _bind_globals(
+        self, doc: XDocument, frames: list[_Frame], params: dict[str, Any]
+    ) -> None:
+        for elem in self.stylesheet.globals:
+            name = elem.get("name")
+            if not name:
+                raise XsltError("top-level variable/param without name")
+            if _local(elem) == "param" and name in params:
+                frames[0].bindings[name] = params[name]
+                continue
+            frames[0].bindings[name] = self._variable_value(elem, doc, frames)
+        # externally supplied params that have no matching xsl:param are
+        # still made visible (lenient, convenient for tooling)
+        for key, value in params.items():
+            frames[0].bindings.setdefault(key, value)
+
+    # -- variable handling -------------------------------------------------------
+    def _variable_value(self, elem: ET.Element, node: XNode, frames: list[_Frame]) -> Any:
+        select = elem.get("select")
+        if select is not None:
+            return evaluate(select, self._context(node, 1, 1, frames))
+        body = _body_items(elem)
+        if not body:
+            return ""
+        sub = OutputBuilder()
+        self._execute_body(body, node, 1, 1, frames, sub)
+        return ResultTreeFragment(sub.finish())
+
+    # -- template application ------------------------------------------------------
+    def _apply_templates(
+        self,
+        nodes: Sequence[XNode],
+        mode: Optional[str],
+        with_params: Mapping[str, Any],
+        doc_node: XNode,
+        frames: list[_Frame],
+        builder: OutputBuilder,
+    ) -> None:
+        size = len(nodes)
+        for position, node in enumerate(nodes, start=1):
+            context = self._context(node, position, size, frames)
+            rule = self.stylesheet.find_rule(node, mode, context)
+            if rule is None:
+                self._builtin_rule(node, mode, frames, builder)
+                continue
+            self._invoke(rule, node, position, size, with_params, frames, builder)
+
+    def _builtin_rule(
+        self,
+        node: XNode,
+        mode: Optional[str],
+        frames: list[_Frame],
+        builder: OutputBuilder,
+    ) -> None:
+        if isinstance(node, (XDocument, XElement)):
+            children = [c for c in node.children() if not isinstance(c, XComment)]
+            self._apply_templates(children, mode, {}, node, frames, builder)
+        elif isinstance(node, (XText, XAttribute)):
+            builder.add_text(node.string_value())
+        # comments and PIs: no output
+
+    def _invoke(
+        self,
+        rule: TemplateRule,
+        node: XNode,
+        position: int,
+        size: int,
+        with_params: Mapping[str, Any],
+        frames: list[_Frame],
+        builder: OutputBuilder,
+    ) -> None:
+        frame = _Frame()
+        for param_elem in rule.params:
+            pname = param_elem.get("name")
+            if not pname:
+                raise XsltError("xsl:param without name")
+            if pname in with_params:
+                frame.bindings[pname] = with_params[pname]
+            else:
+                frame.bindings[pname] = self._variable_value(
+                    param_elem, node, frames + [frame]
+                )
+        previous_rule = self._current_rule
+        self._current_rule = rule
+        try:
+            self._execute_body(
+                rule.body, node, position, size, frames + [frame], builder
+            )
+        finally:
+            self._current_rule = previous_rule
+
+    # -- instruction execution -----------------------------------------------------
+    def _execute_body(
+        self,
+        body: list,
+        node: XNode,
+        position: int,
+        size: int,
+        frames: list[_Frame],
+        builder: OutputBuilder,
+    ) -> None:
+        # local variables accumulate in their own frame so later siblings
+        # see earlier bindings but the scope ends with the body
+        local = _Frame()
+        frames = frames + [local]
+        for item in body:
+            if isinstance(item, str):
+                builder.add_text(item)
+                continue
+            self._execute_instruction(item, node, position, size, frames, local, builder)
+
+    def _execute_instruction(
+        self,
+        elem: ET.Element,
+        node: XNode,
+        position: int,
+        size: int,
+        frames: list[_Frame],
+        local: _Frame,
+        builder: OutputBuilder,
+    ) -> None:
+        prev_current = self._current_node
+        self._current_node = node
+        try:
+            if not _is_xsl(elem):
+                self._literal_element(elem, node, position, size, frames, builder)
+                return
+            name = _local(elem)
+            handler = getattr(self, f"_i_{name.replace('-', '_')}", None)
+            if handler is None:
+                raise XsltError(f"unsupported instruction xsl:{name}")
+            handler(elem, node, position, size, frames, local, builder)
+        finally:
+            self._current_node = prev_current
+
+    def _avt(self, value: str, node: XNode, position: int, size: int, frames: list[_Frame]) -> str:
+        chunks = _split_avt(value)
+        out: list[str] = []
+        for is_expr, text in chunks:
+            if is_expr:
+                out.append(
+                    evaluate_string(text, self._context(node, position, size, frames))
+                )
+            else:
+                out.append(text)
+        return "".join(out)
+
+    def _literal_element(
+        self,
+        elem: ET.Element,
+        node: XNode,
+        position: int,
+        size: int,
+        frames: list[_Frame],
+        builder: OutputBuilder,
+    ) -> None:
+        tag = elem.tag
+        if tag.startswith("{"):
+            # Namespaced literal element outside the XSL namespace: emit
+            # with its local name (we do not do namespace fixup).
+            tag = tag.rpartition("}")[2]
+        builder.start_element(tag)
+        for key, value in elem.attrib.items():
+            if key.startswith("{"):
+                key = key.rpartition("}")[2]
+            builder.add_attribute(key, self._avt(value, node, position, size, frames))
+        self._execute_body(_body_items(elem), node, position, size, frames, builder)
+        builder.end_element()
+
+    # -- individual instructions ---------------------------------------------------
+    def _i_apply_templates(self, elem, node, position, size, frames, local, builder):
+        select = elem.get("select")
+        mode = elem.get("mode")
+        context = self._context(node, position, size, frames)
+        if select is not None:
+            nodes = evaluate_nodeset(select, context)
+        else:
+            nodes = [c for c in node.children() if not isinstance(c, XComment)]
+        nodes = self._sorted(elem, nodes, frames)
+        params = self._collect_with_params(elem, node, position, size, frames)
+        self._apply_templates(nodes, mode, params, node, frames, builder)
+
+    def _i_call_template(self, elem, node, position, size, frames, local, builder):
+        name = elem.get("name")
+        rule = self.stylesheet.named.get(name or "")
+        if rule is None:
+            raise XsltError(f"no template named {name!r}")
+        params = self._collect_with_params(elem, node, position, size, frames)
+        self._invoke(rule, node, position, size, params, frames, builder)
+
+    def _collect_with_params(self, elem, node, position, size, frames) -> dict[str, Any]:
+        params: dict[str, Any] = {}
+        for child in elem:
+            if isinstance(child.tag, str) and child.tag == _XSL + "with-param":
+                pname = child.get("name")
+                if not pname:
+                    raise XsltError("xsl:with-param without name")
+                params[pname] = self._variable_value(child, node, frames)
+        return params
+
+    def _i_value_of(self, elem, node, position, size, frames, local, builder):
+        select = elem.get("select")
+        if select is None:
+            raise XsltError("xsl:value-of requires select")
+        context = self._context(node, position, size, frames)
+        builder.add_text(evaluate_string(select, context))
+
+    def _i_for_each(self, elem, node, position, size, frames, local, builder):
+        select = elem.get("select")
+        if select is None:
+            raise XsltError("xsl:for-each requires select")
+        context = self._context(node, position, size, frames)
+        nodes = evaluate_nodeset(select, context)
+        nodes = self._sorted(elem, nodes, frames)
+        body = [
+            item
+            for item in _body_items(elem)
+            if not (isinstance(item, ET.Element) and _is_xsl(item, "sort"))
+        ]
+        total = len(nodes)
+        for idx, child_node in enumerate(nodes, start=1):
+            self._execute_body(body, child_node, idx, total, frames, builder)
+
+    def _sorted(self, elem: ET.Element, nodes: list[XNode], frames: list[_Frame]) -> list[XNode]:
+        sorts = [
+            c
+            for c in elem
+            if isinstance(c.tag, str) and c.tag == _XSL + "sort"
+        ]
+        if not sorts:
+            return nodes
+        decorated = list(nodes)
+        size = len(nodes)
+        for sort_elem in reversed(sorts):
+            select = sort_elem.get("select", ".")
+            data_type = sort_elem.get("data-type", "text")
+            descending = sort_elem.get("order", "ascending") == "descending"
+
+            def key_of(n: XNode, _sel=select, _dt=data_type) -> Any:
+                # within a sort key, current() is the node being sorted
+                prev_current = self._current_node
+                self._current_node = n
+                try:
+                    ctx = self._context(n, 1, size, frames)
+                    raw = evaluate_string(_sel, ctx)
+                finally:
+                    self._current_node = prev_current
+                if _dt == "number":
+                    value = to_number(raw)
+                    return (value != value, value)  # NaN sorts first
+                return raw
+
+            decorated.sort(key=key_of, reverse=descending)
+        return decorated
+
+    def _i_if(self, elem, node, position, size, frames, local, builder):
+        test = elem.get("test")
+        if test is None:
+            raise XsltError("xsl:if requires test")
+        context = self._context(node, position, size, frames)
+        if evaluate_boolean(test, context):
+            self._execute_body(_body_items(elem), node, position, size, frames, builder)
+
+    def _i_choose(self, elem, node, position, size, frames, local, builder):
+        for child in elem:
+            if not isinstance(child.tag, str):
+                continue
+            if child.tag == _XSL + "when":
+                test = child.get("test")
+                if test is None:
+                    raise XsltError("xsl:when requires test")
+                context = self._context(node, position, size, frames)
+                if evaluate_boolean(test, context):
+                    self._execute_body(
+                        _body_items(child), node, position, size, frames, builder
+                    )
+                    return
+            elif child.tag == _XSL + "otherwise":
+                self._execute_body(
+                    _body_items(child), node, position, size, frames, builder
+                )
+                return
+
+    def _i_text(self, elem, node, position, size, frames, local, builder):
+        builder.add_text(elem.text or "")
+
+    def _i_element(self, elem, node, position, size, frames, local, builder):
+        name = elem.get("name")
+        if not name:
+            raise XsltError("xsl:element requires name")
+        builder.start_element(self._avt(name, node, position, size, frames))
+        self._execute_body(_body_items(elem), node, position, size, frames, builder)
+        builder.end_element()
+
+    def _i_attribute(self, elem, node, position, size, frames, local, builder):
+        name = elem.get("name")
+        if not name:
+            raise XsltError("xsl:attribute requires name")
+        sub = OutputBuilder()
+        self._execute_body(_body_items(elem), node, position, size, frames, sub)
+        builder.add_attribute(
+            self._avt(name, node, position, size, frames), sub.string_value()
+        )
+
+    def _i_comment(self, elem, node, position, size, frames, local, builder):
+        sub = OutputBuilder()
+        self._execute_body(_body_items(elem), node, position, size, frames, sub)
+        builder.add_comment(sub.string_value())
+
+    def _i_variable(self, elem, node, position, size, frames, local, builder):
+        name = elem.get("name")
+        if not name:
+            raise XsltError("xsl:variable requires name")
+        local.bindings[name] = self._variable_value(elem, node, frames)
+
+    def _i_param(self, elem, node, position, size, frames, local, builder):
+        # Params are normally hoisted by _invoke; a stray body-level param
+        # acts as a defaulted variable.
+        name = elem.get("name")
+        if not name:
+            raise XsltError("xsl:param requires name")
+        if name not in local.bindings:
+            local.bindings[name] = self._variable_value(elem, node, frames)
+
+    def _i_message(self, elem, node, position, size, frames, local, builder):
+        sub = OutputBuilder()
+        self._execute_body(_body_items(elem), node, position, size, frames, sub)
+        print(f"[xsl:message] {sub.string_value()}", file=self.message_stream)
+        if elem.get("terminate", "no") == "yes":
+            raise XsltError(f"terminated by xsl:message: {sub.string_value()}")
+
+    def _i_copy(self, elem, node, position, size, frames, local, builder):
+        if isinstance(node, XElement):
+            builder.start_element(node.name)
+            self._execute_body(_body_items(elem), node, position, size, frames, builder)
+            builder.end_element()
+        elif isinstance(node, (XText,)):
+            builder.add_text(node.string_value())
+        elif isinstance(node, XAttribute):
+            builder.add_attribute(node.name, node.value)
+        elif isinstance(node, XComment):
+            builder.add_comment(node.string_value())
+        else:  # document node: just process content
+            self._execute_body(_body_items(elem), node, position, size, frames, builder)
+
+    def _i_copy_of(self, elem, node, position, size, frames, local, builder):
+        select = elem.get("select")
+        if select is None:
+            raise XsltError("xsl:copy-of requires select")
+        context = self._context(node, position, size, frames)
+        value = evaluate(select, context)
+        if isinstance(value, ResultTreeFragment):
+            for item in value.top:
+                builder.add_tree(_clone_out(item))
+            return
+        if isinstance(value, list):
+            for n in value:
+                self._deep_copy(n, builder)
+            return
+        builder.add_text(to_string(value))
+
+    def _deep_copy(self, node: XNode, builder: OutputBuilder) -> None:
+        if isinstance(node, XElement):
+            builder.start_element(node.name)
+            for attr in node.attributes():
+                builder.add_attribute(attr.name, attr.value)
+            for child in node.children():
+                self._deep_copy(child, builder)
+            builder.end_element()
+        elif isinstance(node, XText):
+            builder.add_text(node.value)
+        elif isinstance(node, XAttribute):
+            builder.add_attribute(node.name, node.value)
+        elif isinstance(node, XComment):
+            builder.add_comment(node.value)
+        elif isinstance(node, XDocument):
+            for child in node.children():
+                self._deep_copy(child, builder)
+
+    def _i_apply_imports(self, elem, node, position, size, frames, local, builder):
+        """Re-match the current node against only the rules the current
+        template's stylesheet imported (strictly lower precedence)."""
+        current = self._current_rule
+        if current is None:
+            raise XsltError("xsl:apply-imports outside of a template")
+        context = self._context(node, position, size, frames)
+        rule = self.stylesheet.find_rule(
+            node, current.mode, context, max_precedence=current.precedence
+        )
+        if rule is None:
+            self._builtin_rule(node, current.mode, frames, builder)
+            return
+        self._invoke(rule, node, position, size, {}, frames, builder)
+
+    def _i_sort(self, elem, node, position, size, frames, local, builder):
+        # handled by the enclosing for-each / apply-templates
+        pass
+
+    def _i_fallback(self, elem, node, position, size, frames, local, builder):
+        pass
+
+    def _i_processing_instruction(self, elem, node, position, size, frames, local, builder):
+        # we do not emit PIs; accept and ignore for portability
+        pass
+
+
+def _clone_out(item):
+    if isinstance(item, OutElement):
+        return OutElement(
+            item.name,
+            dict(item.attributes),
+            [_clone_out(c) for c in item.children],
+        )
+    if isinstance(item, OutComment):
+        return OutComment(item.text)
+    return item
+
+
+def transform_file(
+    stylesheet_path: str | Path,
+    source: Union[str, ET.Element],
+    params: Optional[Mapping[str, Any]] = None,
+    *,
+    restore_prefixes: bool = False,
+) -> str:
+    """One-shot convenience: load stylesheet from *stylesheet_path* and
+    transform *source*."""
+    sheet = Stylesheet.from_file(stylesheet_path)
+    return Transformer(sheet).transform(
+        source, params, restore_prefixes=restore_prefixes
+    )

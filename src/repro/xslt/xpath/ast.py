@@ -1,0 +1,176 @@
+"""Abstract syntax tree for the XPath 1.0 subset.
+
+Nodes are plain frozen dataclasses; evaluation lives in
+:mod:`repro.xslt.xpath.evaluator` so the AST stays a passive, printable
+value (handy for tests and for XSLT pattern compilation, which reuses
+location-path ASTs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+__all__ = [
+    "Expr",
+    "NumberLiteral",
+    "StringLiteral",
+    "VariableRef",
+    "FunctionCall",
+    "BinaryOp",
+    "UnaryMinus",
+    "UnionExpr",
+    "NodeTest",
+    "NameTest",
+    "NodeTypeTest",
+    "Step",
+    "LocationPath",
+    "FilterExpr",
+    "PathExpr",
+]
+
+
+class Expr:
+    """Marker base class for all expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class NumberLiteral(Expr):
+    value: float
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class StringLiteral(Expr):
+    value: str
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class VariableRef(Expr):
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    name: str
+    args: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # 'or' 'and' '=' '!=' '<' '<=' '>' '>=' '+' '-' '*' 'div' 'mod'
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryMinus(Expr):
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"-({self.operand})"
+
+
+@dataclass(frozen=True)
+class UnionExpr(Expr):
+    parts: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return " | ".join(map(str, self.parts))
+
+
+class NodeTest:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class NameTest(NodeTest):
+    """``*``, ``prefix:*`` or a (possibly prefixed) name."""
+
+    name: str
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.name == "*"
+
+    @property
+    def prefix_wildcard(self) -> Optional[str]:
+        if self.name.endswith(":*") and self.name != "*":
+            return self.name[:-2]
+        return None
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class NodeTypeTest(NodeTest):
+    """``node()``, ``text()``, ``comment()``, ``processing-instruction()``."""
+
+    node_type: str
+    literal: Optional[str] = None  # processing-instruction('name')
+
+    def __str__(self) -> str:
+        inner = repr(self.literal) if self.literal else ""
+        return f"{self.node_type}({inner})"
+
+
+@dataclass(frozen=True)
+class Step:
+    axis: str
+    node_test: NodeTest
+    predicates: tuple[Expr, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        preds = "".join(f"[{p}]" for p in self.predicates)
+        return f"{self.axis}::{self.node_test}{preds}"
+
+
+@dataclass(frozen=True)
+class LocationPath(Expr):
+    absolute: bool
+    steps: tuple[Step, ...]
+
+    def __str__(self) -> str:
+        body = "/".join(map(str, self.steps))
+        return ("/" + body) if self.absolute else body
+
+
+@dataclass(frozen=True)
+class FilterExpr(Expr):
+    """A primary expression with predicates, e.g. ``$nodes[1]``."""
+
+    primary: Expr
+    predicates: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return f"{self.primary}" + "".join(f"[{p}]" for p in self.predicates)
+
+
+@dataclass(frozen=True)
+class PathExpr(Expr):
+    """FilterExpr '/' RelativeLocationPath (or '//')."""
+
+    filter: Expr
+    descendants: bool  # True when joined with '//'
+    path: LocationPath
+
+    def __str__(self) -> str:
+        sep = "//" if self.descendants else "/"
+        return f"{self.filter}{sep}{self.path}"

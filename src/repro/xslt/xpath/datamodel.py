@@ -1,0 +1,263 @@
+"""XPath 1.0 data model over ElementTree.
+
+XPath needs parent pointers, document order, and distinct node kinds for
+documents, elements, attributes, text, and comments -- none of which
+:mod:`xml.etree.ElementTree` provides.  This module wraps a parsed
+ElementTree into an immutable node tree exposing exactly the properties
+the evaluator requires:
+
+* ``parent`` links and a global ``doc_order`` index (attributes order
+  after their owner element, before its children, matching the spec's
+  "attribute nodes occur before the children of the element"),
+* the *string-value* of every node kind per XPath 1.0 section 5,
+* expanded names (we run without namespace processing; the legacy XMI
+  vocabulary uses undeclared ``UML:`` prefixes which we treat as part of
+  the name, the same way the paper's early-2000s toolchain did).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Iterator, Optional
+
+__all__ = [
+    "XNode",
+    "XDocument",
+    "XElement",
+    "XAttribute",
+    "XText",
+    "XComment",
+    "build_document",
+]
+
+_DOT_PREFIX_KINDS = ("element",)
+
+
+class XNode:
+    """Base class for all XPath nodes."""
+
+    __slots__ = ("parent", "doc_order", "_desc_cache", "_name_index_cache")
+
+    node_type = "node"
+
+    def __init__(self, parent: Optional["XNode"]) -> None:
+        self.parent = parent
+        self.doc_order = -1  # assigned by build_document
+        self._desc_cache: Optional[list["XNode"]] = None
+        self._name_index_cache: Optional[dict] = None
+
+    # -- accessors overridden per kind ------------------------------------
+    @property
+    def name(self) -> str:
+        """The node's expanded name; '' for unnamed kinds."""
+        return ""
+
+    def string_value(self) -> str:
+        raise NotImplementedError
+
+    def children(self) -> list["XNode"]:
+        return []
+
+    def attributes(self) -> list["XAttribute"]:
+        return []
+
+    # -- tree walking ------------------------------------------------------
+    def root(self) -> "XNode":
+        node: XNode = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def ancestors(self) -> Iterator["XNode"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def descendants(self) -> Iterator["XNode"]:
+        yield from self.descendants_list()
+
+    def descendants_list(self) -> list["XNode"]:
+        """All descendants in document order, cached.
+
+        The tree is immutable once evaluation starts (strip-space runs
+        before the first query), so the cache never needs invalidation;
+        ``//``-heavy stylesheets hit this on every apply-templates."""
+        cached = self._desc_cache
+        if cached is None:
+            cached = []
+            for child in self.children():
+                cached.append(child)
+                cached.extend(child.descendants_list())
+            self._desc_cache = cached
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name or self.node_type} @{self.doc_order}>"
+
+
+class XDocument(XNode):
+    """The root node (distinct from the document element, per XPath)."""
+
+    __slots__ = ("_children",)
+
+    node_type = "document"
+
+    def __init__(self) -> None:
+        super().__init__(None)
+        self._children: list[XNode] = []
+
+    def children(self) -> list[XNode]:
+        return self._children
+
+    def string_value(self) -> str:
+        return "".join(
+            c.string_value() for c in self._children if c.node_type in ("element", "text")
+        )
+
+    @property
+    def document_element(self) -> "XElement":
+        for child in self._children:
+            if isinstance(child, XElement):
+                return child
+        raise ValueError("document has no document element")
+
+
+class XElement(XNode):
+    __slots__ = ("_name", "_children", "_attributes", "etree")
+
+    node_type = "element"
+
+    def __init__(self, parent: Optional[XNode], name: str, etree: Optional[ET.Element] = None) -> None:
+        super().__init__(parent)
+        self._name = name
+        self._children: list[XNode] = []
+        self._attributes: list[XAttribute] = []
+        self.etree = etree
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def children(self) -> list[XNode]:
+        return self._children
+
+    def attributes(self) -> list["XAttribute"]:
+        return self._attributes
+
+    def get(self, attr_name: str) -> Optional[str]:
+        for attr in self._attributes:
+            if attr.name == attr_name:
+                return attr.value
+        return None
+
+    def string_value(self) -> str:
+        parts: list[str] = []
+        for node in self.descendants():
+            if node.node_type == "text":
+                parts.append(node.string_value())
+        return "".join(parts)
+
+
+class XAttribute(XNode):
+    __slots__ = ("_name", "value")
+
+    node_type = "attribute"
+
+    def __init__(self, parent: XNode, name: str, value: str) -> None:
+        super().__init__(parent)
+        self._name = name
+        self.value = value
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def string_value(self) -> str:
+        return self.value
+
+
+class XText(XNode):
+    __slots__ = ("value",)
+
+    node_type = "text"
+
+    def __init__(self, parent: XNode, value: str) -> None:
+        super().__init__(parent)
+        self.value = value
+
+    def string_value(self) -> str:
+        return self.value
+
+
+class XComment(XNode):
+    __slots__ = ("value",)
+
+    node_type = "comment"
+
+    def __init__(self, parent: XNode, value: str) -> None:
+        super().__init__(parent)
+        self.value = value
+
+    def string_value(self) -> str:
+        return self.value
+
+
+_RESTORED_PREFIXES = ("UML",)
+
+
+def _restore(name: str, restore_prefixes: bool) -> str:
+    """Map ``UML.ActionState`` (our undeclared-prefix parse form) back to
+    ``UML:ActionState`` so XPath name tests written against the paper's
+    vocabulary match.  Only the UML prefix is restored; XMI 1.2 names
+    like ``XMI.header`` genuinely contain dots."""
+    if restore_prefixes and "." in name:
+        head, _, tail = name.partition(".")
+        if head in _RESTORED_PREFIXES:
+            return f"{head}:{tail}"
+    return name
+
+
+def _convert(elem: ET.Element, parent: XNode, restore_prefixes: bool) -> XElement:
+    tag = elem.tag
+    if not isinstance(tag, str):  # comments / PIs parsed by ElementTree
+        node = XComment(parent, elem.text or "")
+        parent.children().append(node)  # type: ignore[attr-defined]
+        return node  # type: ignore[return-value]
+    xelem = XElement(parent, _restore(tag, restore_prefixes), etree=elem)
+    # Attribute names are never prefix-rewritten: XMI attributes such as
+    # ``xmi.id`` legitimately contain dots and must stay as-is.
+    for key, value in elem.attrib.items():
+        xelem._attributes.append(XAttribute(xelem, key, value))
+    if elem.text:
+        xelem._children.append(XText(xelem, elem.text))
+    for child in elem:
+        _convert(child, xelem, restore_prefixes)
+        if child.tail:
+            xelem._children.append(XText(xelem, child.tail))
+    parent.children().append(xelem)
+    return xelem
+
+
+def _number(node: XNode, counter: list[int]) -> None:
+    node.doc_order = counter[0]
+    counter[0] += 1
+    for attr in node.attributes():
+        attr.doc_order = counter[0]
+        counter[0] += 1
+    for child in node.children():
+        _number(child, counter)
+
+
+def build_document(root: ET.Element | str, *, restore_prefixes: bool = False) -> XDocument:
+    """Wrap a parsed ElementTree (or XML string) as an :class:`XDocument`.
+
+    ``restore_prefixes`` maps ``Prefix.Local`` tag/attr names back to
+    ``Prefix:Local`` (see :mod:`repro.util.xmlutil.parse_prefixed`).
+    """
+    if isinstance(root, str):
+        root = ET.fromstring(root)
+    doc = XDocument()
+    _convert(root, doc, restore_prefixes)
+    _number(doc, [0])
+    return doc

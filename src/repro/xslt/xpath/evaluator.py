@@ -1,0 +1,529 @@
+"""Evaluator for the XPath 1.0 subset.
+
+Values follow the four XPath types:
+
+* node-set  -> ``list[XNode]`` in document order, duplicate-free
+* boolean   -> ``bool``
+* number    -> ``float``
+* string    -> ``str``
+
+The entry points are :func:`evaluate` (any expression) and the typed
+wrappers :func:`evaluate_nodeset` / :func:`evaluate_string` /
+:func:`evaluate_boolean` / :func:`evaluate_number` used by the XSLT
+engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from .ast import (
+    BinaryOp,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    LocationPath,
+    NameTest,
+    NodeTest,
+    NodeTypeTest,
+    NumberLiteral,
+    PathExpr,
+    Step,
+    StringLiteral,
+    UnaryMinus,
+    UnionExpr,
+    VariableRef,
+)
+from .datamodel import XAttribute, XNode
+from .functions import (
+    CORE_FUNCTIONS,
+    XPathTypeError,
+    to_boolean,
+    to_nodeset,
+    to_number,
+    to_string,
+)
+from .parser import parse
+
+__all__ = [
+    "Context",
+    "XPathEvalError",
+    "evaluate",
+    "evaluate_nodeset",
+    "evaluate_string",
+    "evaluate_boolean",
+    "evaluate_number",
+    "node_test_matches",
+]
+
+
+class XPathEvalError(ValueError):
+    """Raised for runtime evaluation failures (unknown variable/function)."""
+
+
+@dataclass
+class Context:
+    """Evaluation context: node, position/size, variables, functions."""
+
+    node: XNode
+    position: int = 1
+    size: int = 1
+    variables: Mapping[str, Any] = field(default_factory=dict)
+    functions: Mapping[str, Callable[..., Any]] = field(default_factory=lambda: CORE_FUNCTIONS)
+
+    def with_node(self, node: XNode, position: int, size: int) -> "Context":
+        return replace(self, node=node, position=position, size=size)
+
+
+# ---------------------------------------------------------------------------
+# Axes
+# ---------------------------------------------------------------------------
+
+def _axis_child(node: XNode) -> Iterator[XNode]:
+    yield from node.children()
+
+
+def _axis_descendant(node: XNode) -> Iterator[XNode]:
+    yield from node.descendants()
+
+
+def _axis_parent(node: XNode) -> Iterator[XNode]:
+    if node.parent is not None:
+        yield node.parent
+
+
+def _axis_ancestor(node: XNode) -> Iterator[XNode]:
+    yield from node.ancestors()
+
+
+def _axis_self(node: XNode) -> Iterator[XNode]:
+    yield node
+
+
+def _axis_descendant_or_self(node: XNode) -> Iterator[XNode]:
+    yield node
+    yield from node.descendants()
+
+
+def _axis_ancestor_or_self(node: XNode) -> Iterator[XNode]:
+    yield node
+    yield from node.ancestors()
+
+
+def _axis_attribute(node: XNode) -> Iterator[XNode]:
+    yield from node.attributes()
+
+
+def _siblings(node: XNode) -> list[XNode]:
+    if node.parent is None or isinstance(node, XAttribute):
+        return []
+    return node.parent.children()
+
+
+def _axis_following_sibling(node: XNode) -> Iterator[XNode]:
+    sibs = _siblings(node)
+    try:
+        idx = sibs.index(node)
+    except ValueError:
+        return
+    yield from sibs[idx + 1 :]
+
+
+def _axis_preceding_sibling(node: XNode) -> Iterator[XNode]:
+    sibs = _siblings(node)
+    try:
+        idx = sibs.index(node)
+    except ValueError:
+        return
+    # reverse document order (nearest first), per spec for reverse axes
+    yield from reversed(sibs[:idx])
+
+
+def _axis_following(node: XNode) -> Iterator[XNode]:
+    anchor = node
+    while anchor is not None:
+        for sib in _axis_following_sibling(anchor):
+            yield sib
+            yield from sib.descendants()
+        anchor = anchor.parent
+
+
+def _axis_preceding(node: XNode) -> Iterator[XNode]:
+    ancestors = set(id(a) for a in node.ancestors())
+    root = node.root()
+    collected = [
+        n
+        for n in _axis_descendant(root)
+        if n.doc_order < node.doc_order
+        and id(n) not in ancestors
+        and not isinstance(n, XAttribute)
+    ]
+    yield from reversed(collected)
+
+
+_AXES: dict[str, Callable[[XNode], Iterator[XNode]]] = {
+    "child": _axis_child,
+    "descendant": _axis_descendant,
+    "parent": _axis_parent,
+    "ancestor": _axis_ancestor,
+    "self": _axis_self,
+    "descendant-or-self": _axis_descendant_or_self,
+    "ancestor-or-self": _axis_ancestor_or_self,
+    "attribute": _axis_attribute,
+    "following-sibling": _axis_following_sibling,
+    "preceding-sibling": _axis_preceding_sibling,
+    "following": _axis_following,
+    "preceding": _axis_preceding,
+}
+
+_REVERSE_AXES = frozenset({"ancestor", "ancestor-or-self", "preceding", "preceding-sibling", "parent"})
+
+
+# ---------------------------------------------------------------------------
+# Node tests
+# ---------------------------------------------------------------------------
+
+def node_test_matches(test: NodeTest, node: XNode, axis: str = "child") -> bool:
+    """Whether *node* passes *test* along *axis* (principal node type is
+    'attribute' on the attribute axis, 'element' otherwise)."""
+    principal = "attribute" if axis == "attribute" else "element"
+    if isinstance(test, NodeTypeTest):
+        if test.node_type == "node":
+            return True
+        return node.node_type == test.node_type
+    assert isinstance(test, NameTest)
+    if node.node_type != principal:
+        return False
+    if test.is_wildcard:
+        return True
+    prefix = test.prefix_wildcard
+    if prefix is not None:
+        return node.name.startswith(prefix + ":")
+    return node.name == test.name
+
+
+# ---------------------------------------------------------------------------
+# Core evaluation
+# ---------------------------------------------------------------------------
+
+def _dedup_doc_order(nodes: Iterable[XNode]) -> list[XNode]:
+    seen: set[int] = set()
+    unique: list[XNode] = []
+    in_order = True
+    last = -1
+    for node in nodes:
+        if id(node) not in seen:
+            seen.add(id(node))
+            unique.append(node)
+            if node.doc_order < last:
+                in_order = False
+            last = node.doc_order
+    if not in_order:
+        unique.sort(key=lambda n: n.doc_order)
+    return unique
+
+
+def _attr_equals_const(pred: Expr, context: Context):
+    """Detect the predicate shape ``@name = <literal|$var-string>`` (either
+    side) and return ``(attr_name, wanted_string)``; None when it does not
+    apply.  The RHS is context-independent, so the comparison can run as a
+    plain string check per candidate -- the hottest predicate shape in the
+    XMI stylesheets (id/idref joins)."""
+    if not isinstance(pred, BinaryOp) or pred.op != "=":
+        return None
+    for attr_side, value_side in ((pred.left, pred.right), (pred.right, pred.left)):
+        if (
+            isinstance(attr_side, LocationPath)
+            and not attr_side.absolute
+            and len(attr_side.steps) == 1
+            and attr_side.steps[0].axis == "attribute"
+            and isinstance(attr_side.steps[0].node_test, NameTest)
+            and not attr_side.steps[0].predicates
+            and not attr_side.steps[0].node_test.is_wildcard
+        ):
+            if isinstance(value_side, StringLiteral):
+                return attr_side.steps[0].node_test.name, value_side.value
+            if isinstance(value_side, VariableRef):
+                try:
+                    value = context.variables[value_side.name]
+                except KeyError:
+                    return None
+                if isinstance(value, str):
+                    return attr_side.steps[0].node_test.name, value
+    return None
+
+
+def _apply_predicates(
+    candidates: list[XNode], predicates: tuple[Expr, ...], context: Context, reverse: bool
+) -> list[XNode]:
+    current = candidates
+    for pred in predicates:
+        fast = _attr_equals_const(pred, context) if len(current) > 3 else None
+        if fast is not None:
+            attr_name, wanted = fast
+            current = [
+                n
+                for n in current
+                if n.node_type == "element" and n.get(attr_name) == wanted  # type: ignore[attr-defined]
+            ]
+            continue
+        size = len(current)
+        kept: list[XNode] = []
+        for idx, node in enumerate(current):
+            position = idx + 1  # candidates are already in axis order
+            sub = context.with_node(node, position, size)
+            value = _eval(pred, sub)
+            if isinstance(value, float):
+                ok = value == position
+            elif isinstance(value, (int,)) and not isinstance(value, bool):
+                ok = float(value) == position
+            else:
+                ok = to_boolean(value)
+            if ok:
+                kept.append(node)
+        current = kept
+    return current
+
+
+def _eval_step(step: Step, node: XNode, context: Context) -> list[XNode]:
+    axis_fn = _AXES.get(step.axis)
+    if axis_fn is None:
+        raise XPathEvalError(f"unsupported axis {step.axis!r}")
+    candidates = [
+        n for n in axis_fn(node) if node_test_matches(step.node_test, n, step.axis)
+    ]
+    selected = _apply_predicates(candidates, step.predicates, context, step.axis in _REVERSE_AXES)
+    return selected
+
+
+def _name_index(root: XNode) -> dict[str, list[XNode]]:
+    """Element-name index over *root*'s subtree (cached on the node).
+
+    ``//Name`` is by far the hottest query shape in real stylesheets; the
+    index turns it from a full-tree scan into a dict lookup.  Safe to
+    cache because the tree is immutable during evaluation."""
+    cached = getattr(root, "_name_index_cache", None)
+    if cached is None:
+        cached = {}
+        for descendant in root.descendants_list():
+            if descendant.node_type == "element":
+                cached.setdefault(descendant.name, []).append(descendant)
+        try:
+            root._name_index_cache = cached  # type: ignore[attr-defined]
+        except AttributeError:
+            pass  # slotted node without cache slot: skip caching
+    return cached
+
+
+def _is_slash_slash_name(steps: tuple[Step, ...]) -> bool:
+    """Whether steps begin with the `//Name` expansion: a bare
+    descendant-or-self::node() step followed by child::<QName>."""
+    if len(steps) < 2:
+        return False
+    first, second = steps[0], steps[1]
+    return (
+        first.axis == "descendant-or-self"
+        and isinstance(first.node_test, NodeTypeTest)
+        and first.node_test.node_type == "node"
+        and not first.predicates
+        and second.axis == "child"
+        and isinstance(second.node_test, NameTest)
+        and not second.node_test.is_wildcard
+        and second.node_test.prefix_wildcard is None
+    )
+
+
+def _eval_location_path(path: LocationPath, context: Context) -> list[XNode]:
+    if path.absolute:
+        start: list[XNode] = [context.node.root()]
+    else:
+        start = [context.node]
+    steps = path.steps
+    current = start
+    # fast path: leading //Name resolved via the per-subtree name index
+    if len(current) == 1 and _is_slash_slash_name(steps):
+        name_step = steps[1]
+        candidates = _name_index(current[0]).get(name_step.node_test.name, [])  # type: ignore[union-attr]
+        if name_step.predicates:
+            # predicate positions are per parent (XPath abbreviation
+            # semantics), so filter each sibling group independently
+            groups: dict[int, list[XNode]] = {}
+            for candidate in candidates:
+                groups.setdefault(id(candidate.parent), []).append(candidate)
+            kept: list[XNode] = []
+            for group in groups.values():
+                kept.extend(
+                    _apply_predicates(group, name_step.predicates, context, False)
+                )
+            current = _dedup_doc_order(kept)
+        else:
+            current = list(candidates)
+        steps = steps[2:]
+    for step in steps:
+        gathered: list[XNode] = []
+        for node in current:
+            gathered.extend(_eval_step(step, node, context))
+        current = _dedup_doc_order(gathered)
+    return current
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    """XPath comparison semantics (3.4): node-sets compare existentially,
+    except against booleans, where the whole set converts via boolean()."""
+    if op in ("=", "!=") and (isinstance(left, bool) or isinstance(right, bool)):
+        return _compare_atomic(op, to_boolean(left), to_boolean(right))
+    if isinstance(left, list) and isinstance(right, list):
+        rvals = [n.string_value() for n in right]
+        for lnode in left:
+            lval = lnode.string_value()
+            for rval in rvals:
+                if _compare_atomic(op, lval, rval):
+                    return True
+        return False
+    if isinstance(left, list):
+        return any(_compare_atomic(op, _coerce_for(right, n.string_value()), right) for n in left)
+    if isinstance(right, list):
+        swapped = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(op, op)
+        return _compare(swapped, right, left)
+    return _compare_atomic(op, left, right)
+
+
+def _coerce_for(other: Any, string_value: str) -> Any:
+    """Convert a node's string-value to the type dictated by *other*."""
+    if isinstance(other, (int, float)) and not isinstance(other, bool):
+        return to_number(string_value)
+    return string_value
+
+
+def _compare_atomic(op: str, left: Any, right: Any) -> bool:
+    if op in ("=", "!="):
+        if isinstance(left, bool) or isinstance(right, bool):
+            result = to_boolean(left) == to_boolean(right)
+        elif isinstance(left, (int, float)) or isinstance(right, (int, float)):
+            result = to_number(left) == to_number(right)
+        else:
+            result = to_string(left) == to_string(right)
+        return result if op == "=" else not result
+    lnum, rnum = to_number(left), to_number(right)
+    if math.isnan(lnum) or math.isnan(rnum):
+        return False
+    if op == "<":
+        return lnum < rnum
+    if op == "<=":
+        return lnum <= rnum
+    if op == ">":
+        return lnum > rnum
+    if op == ">=":
+        return lnum >= rnum
+    raise XPathEvalError(f"unknown comparison {op!r}")
+
+
+def _eval(expr: Expr, context: Context) -> Any:
+    if isinstance(expr, NumberLiteral):
+        return expr.value
+    if isinstance(expr, StringLiteral):
+        return expr.value
+    if isinstance(expr, VariableRef):
+        try:
+            return context.variables[expr.name]
+        except KeyError:
+            raise XPathEvalError(f"unbound variable ${expr.name}") from None
+    if isinstance(expr, FunctionCall):
+        fn = context.functions.get(expr.name)
+        if fn is None:
+            raise XPathEvalError(f"unknown function {expr.name}()")
+        args = [_eval(a, context) for a in expr.args]
+        try:
+            return fn(context, *args)
+        except TypeError as exc:
+            raise XPathEvalError(f"bad call to {expr.name}(): {exc}") from exc
+    if isinstance(expr, BinaryOp):
+        return _eval_binary(expr, context)
+    if isinstance(expr, UnaryMinus):
+        return -to_number(_eval(expr.operand, context))
+    if isinstance(expr, UnionExpr):
+        combined: list[XNode] = []
+        for part in expr.parts:
+            combined.extend(to_nodeset(_eval(part, context)))
+        return _dedup_doc_order(combined)
+    if isinstance(expr, LocationPath):
+        return _eval_location_path(expr, context)
+    if isinstance(expr, FilterExpr):
+        base = to_nodeset(_eval(expr.primary, context))
+        return _apply_predicates(list(base), expr.predicates, context, reverse=False)
+    if isinstance(expr, PathExpr):
+        base = to_nodeset(_eval(expr.filter, context))
+        if expr.descendants:
+            expanded: list[XNode] = []
+            for node in base:
+                expanded.append(node)
+                expanded.extend(node.descendants())
+            base = _dedup_doc_order(expanded)
+        gathered: list[XNode] = []
+        for node in base:
+            sub = context.with_node(node, 1, 1)
+            gathered.extend(_eval_location_path(expr.path, sub))
+        return _dedup_doc_order(gathered)
+    raise XPathEvalError(f"cannot evaluate {expr!r}")
+
+
+def _eval_binary(expr: BinaryOp, context: Context) -> Any:
+    op = expr.op
+    if op == "or":
+        return to_boolean(_eval(expr.left, context)) or to_boolean(_eval(expr.right, context))
+    if op == "and":
+        return to_boolean(_eval(expr.left, context)) and to_boolean(_eval(expr.right, context))
+    left = _eval(expr.left, context)
+    right = _eval(expr.right, context)
+    if op in ("=", "!=", "<", "<=", ">", ">="):
+        return _compare(op, left, right)
+    lnum, rnum = to_number(left), to_number(right)
+    if op == "+":
+        return lnum + rnum
+    if op == "-":
+        return lnum - rnum
+    if op == "*":
+        return lnum * rnum
+    if op == "div":
+        if rnum == 0:
+            if lnum == 0 or math.isnan(lnum):
+                return float("nan")
+            return math.copysign(float("inf"), lnum) * math.copysign(1.0, rnum)
+        return lnum / rnum
+    if op == "mod":
+        if rnum == 0:
+            return float("nan")
+        return math.fmod(lnum, rnum)
+    raise XPathEvalError(f"unknown operator {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+def evaluate(expr: str | Expr, context: Context) -> Any:
+    """Evaluate *expr* (source string or pre-parsed AST) in *context*."""
+    tree = parse(expr) if isinstance(expr, str) else expr
+    return _eval(tree, context)
+
+
+def evaluate_nodeset(expr: str | Expr, context: Context) -> list[XNode]:
+    value = evaluate(expr, context)
+    try:
+        return to_nodeset(value)
+    except XPathTypeError as exc:
+        raise XPathEvalError(f"{expr} did not yield a node-set: {exc}") from exc
+
+
+def evaluate_string(expr: str | Expr, context: Context) -> str:
+    return to_string(evaluate(expr, context))
+
+
+def evaluate_boolean(expr: str | Expr, context: Context) -> bool:
+    return to_boolean(evaluate(expr, context))
+
+
+def evaluate_number(expr: str | Expr, context: Context) -> float:
+    return to_number(evaluate(expr, context))

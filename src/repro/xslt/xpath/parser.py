@@ -1,0 +1,277 @@
+"""Recursive-descent parser for the XPath 1.0 subset.
+
+Grammar follows the XPath 1.0 recommendation, sections 2-3.  Operator
+precedence (loosest to tightest): ``or``, ``and``, equality, relational,
+additive, multiplicative, unary minus, union ``|``, path.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from .ast import (
+    BinaryOp,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    LocationPath,
+    NameTest,
+    NodeTypeTest,
+    NumberLiteral,
+    PathExpr,
+    Step,
+    StringLiteral,
+    UnaryMinus,
+    UnionExpr,
+    VariableRef,
+)
+from .lexer import Token, tokenize
+
+__all__ = ["parse", "XPathSyntaxError", "AXES"]
+
+AXES = frozenset(
+    {
+        "child",
+        "descendant",
+        "parent",
+        "ancestor",
+        "following-sibling",
+        "preceding-sibling",
+        "following",
+        "preceding",
+        "attribute",
+        "self",
+        "descendant-or-self",
+        "ancestor-or-self",
+        "namespace",
+    }
+)
+
+
+class XPathSyntaxError(ValueError):
+    """Raised when the token stream does not form a valid expression."""
+
+
+class _Parser:
+    def __init__(self, expr: str) -> None:
+        self.expr = expr
+        self.tokens = tokenize(expr)
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+    def peek(self) -> Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise XPathSyntaxError(f"unexpected end of expression: {self.expr!r}")
+        self.pos += 1
+        return tok
+
+    def accept_punct(self, *values: str) -> Token | None:
+        tok = self.peek()
+        if tok is not None and tok.is_punct(*values):
+            self.pos += 1
+            return tok
+        return None
+
+    def accept_operator(self, *values: str) -> Token | None:
+        tok = self.peek()
+        if tok is not None and tok.kind == "operator" and tok.value in values:
+            self.pos += 1
+            return tok
+        return None
+
+    def expect_punct(self, value: str) -> Token:
+        tok = self.accept_punct(value)
+        if tok is None:
+            got = self.peek()
+            raise XPathSyntaxError(
+                f"expected {value!r} at token {got!r} in {self.expr!r}"
+            )
+        return tok
+
+    # -- expression grammar --------------------------------------------------
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def _parse_binary(self, ops: tuple[str, ...], sub) -> Expr:
+        left = sub()
+        while True:
+            tok = self.accept_operator(*ops)
+            if tok is None:
+                return left
+            right = sub()
+            left = BinaryOp(tok.value, left, right)
+
+    def parse_or(self) -> Expr:
+        return self._parse_binary(("or",), self.parse_and)
+
+    def parse_and(self) -> Expr:
+        return self._parse_binary(("and",), self.parse_equality)
+
+    def parse_equality(self) -> Expr:
+        return self._parse_binary(("=", "!="), self.parse_relational)
+
+    def parse_relational(self) -> Expr:
+        return self._parse_binary(("<", "<=", ">", ">="), self.parse_additive)
+
+    def parse_additive(self) -> Expr:
+        return self._parse_binary(("+", "-"), self.parse_multiplicative)
+
+    def parse_multiplicative(self) -> Expr:
+        return self._parse_binary(("*", "div", "mod"), self.parse_unary)
+
+    def parse_unary(self) -> Expr:
+        if self.accept_operator("-"):
+            return UnaryMinus(self.parse_unary())
+        return self.parse_union()
+
+    def parse_union(self) -> Expr:
+        parts = [self.parse_path()]
+        while self.accept_operator("|"):
+            parts.append(self.parse_path())
+        if len(parts) == 1:
+            return parts[0]
+        return UnionExpr(tuple(parts))
+
+    # -- paths ----------------------------------------------------------------
+    def parse_path(self) -> Expr:
+        tok = self.peek()
+        if tok is None:
+            raise XPathSyntaxError(f"empty expression: {self.expr!r}")
+        if self._starts_filter_expr(tok):
+            filt = self.parse_filter()
+            sep = self.peek()
+            if sep is not None and sep.is_punct("/", "//"):
+                self.pos += 1
+                rel = self.parse_relative_path()
+                return PathExpr(filt, sep.value == "//", rel)
+            return filt
+        return self.parse_location_path()
+
+    def _starts_filter_expr(self, tok: Token) -> bool:
+        if tok.kind in ("variable", "literal", "number", "function"):
+            return True
+        return tok.is_punct("(")
+
+    def parse_filter(self) -> Expr:
+        primary = self.parse_primary()
+        predicates = self.parse_predicates()
+        if predicates:
+            return FilterExpr(primary, predicates)
+        return primary
+
+    def parse_primary(self) -> Expr:
+        tok = self.next()
+        if tok.kind == "variable":
+            return VariableRef(tok.value)
+        if tok.kind == "literal":
+            return StringLiteral(tok.value)
+        if tok.kind == "number":
+            return NumberLiteral(float(tok.value))
+        if tok.kind == "function":
+            return self.parse_function_call(tok.value)
+        if tok.is_punct("("):
+            inner = self.parse_expr()
+            self.expect_punct(")")
+            return inner
+        raise XPathSyntaxError(f"unexpected token {tok!r} in {self.expr!r}")
+
+    def parse_function_call(self, name: str) -> Expr:
+        self.expect_punct("(")
+        args: list[Expr] = []
+        if not self.accept_punct(")"):
+            args.append(self.parse_expr())
+            while self.accept_punct(","):
+                args.append(self.parse_expr())
+            self.expect_punct(")")
+        return FunctionCall(name, tuple(args))
+
+    def parse_location_path(self) -> LocationPath:
+        if self.accept_punct("//"):
+            steps = [
+                Step("descendant-or-self", NodeTypeTest("node")),
+                *self.parse_relative_path().steps,
+            ]
+            return LocationPath(True, tuple(steps))
+        if self.accept_punct("/"):
+            tok = self.peek()
+            if tok is not None and self._starts_step(tok):
+                return LocationPath(True, self.parse_relative_path().steps)
+            return LocationPath(True, ())
+        return self.parse_relative_path()
+
+    def _starts_step(self, tok: Token) -> bool:
+        if tok.kind in ("name", "wildcard", "axis", "nodetype"):
+            return True
+        return tok.is_punct(".", "..", "@")
+
+    def parse_relative_path(self) -> LocationPath:
+        steps = [self.parse_step()]
+        while True:
+            if self.accept_punct("//"):
+                steps.append(Step("descendant-or-self", NodeTypeTest("node")))
+                steps.append(self.parse_step())
+            elif self.accept_punct("/"):
+                steps.append(self.parse_step())
+            else:
+                break
+        return LocationPath(False, tuple(steps))
+
+    def parse_step(self) -> Step:
+        if self.accept_punct("."):
+            return Step("self", NodeTypeTest("node"))
+        if self.accept_punct(".."):
+            return Step("parent", NodeTypeTest("node"))
+        axis = "child"
+        tok = self.peek()
+        if tok is not None and tok.kind == "axis":
+            if tok.value not in AXES:
+                raise XPathSyntaxError(f"unknown axis {tok.value!r} in {self.expr!r}")
+            axis = tok.value
+            self.pos += 1
+        elif self.accept_punct("@"):
+            axis = "attribute"
+        node_test = self.parse_node_test(axis)
+        predicates = self.parse_predicates()
+        return Step(axis, node_test, predicates)
+
+    def parse_node_test(self, axis: str):
+        tok = self.next()
+        if tok.kind == "nodetype":
+            self.expect_punct("(")
+            literal = None
+            nxt = self.peek()
+            if nxt is not None and nxt.kind == "literal":
+                if tok.value != "processing-instruction":
+                    raise XPathSyntaxError(
+                        f"{tok.value}() takes no argument in {self.expr!r}"
+                    )
+                literal = self.next().value
+            self.expect_punct(")")
+            return NodeTypeTest(tok.value, literal)
+        if tok.kind in ("name", "wildcard"):
+            return NameTest(tok.value)
+        raise XPathSyntaxError(f"expected node test, got {tok!r} in {self.expr!r}")
+
+    def parse_predicates(self) -> tuple[Expr, ...]:
+        predicates: list[Expr] = []
+        while self.accept_punct("["):
+            predicates.append(self.parse_expr())
+            self.expect_punct("]")
+        return tuple(predicates)
+
+
+@functools.lru_cache(maxsize=4096)
+def parse(expr: str) -> Expr:
+    """Parse *expr* into an AST.  Results are memoized: stylesheets
+    evaluate the same select/test expressions once per context node, and
+    reparsing dominated profile time before caching."""
+    parser = _Parser(expr)
+    tree = parser.parse_expr()
+    leftover = parser.peek()
+    if leftover is not None:
+        raise XPathSyntaxError(f"trailing tokens at {leftover!r} in {expr!r}")
+    return tree

@@ -1,0 +1,138 @@
+"""Serial Floyd baselines: correctness vs scipy/networkx and properties."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.sparse.csgraph import floyd_warshall as scipy_floyd
+
+from repro.apps.floyd.serial import (
+    INF,
+    floyd_warshall,
+    floyd_warshall_numpy,
+    random_adjacency,
+    random_weighted_graph,
+    transitive_closure,
+    transitive_closure_numpy,
+)
+
+
+def to_scipy_input(matrix):
+    arr = np.array(matrix, dtype=float)
+    arr[~np.isfinite(arr)] = np.inf
+    return arr
+
+
+class TestAgainstReferenceLibraries:
+    @pytest.mark.parametrize("n,seed", [(5, 1), (10, 2), (20, 3), (30, 4)])
+    def test_matches_scipy(self, n, seed):
+        matrix = random_weighted_graph(n, seed=seed)
+        ours = np.array(floyd_warshall(matrix))
+        reference = scipy_floyd(to_scipy_input(matrix))
+        assert np.allclose(ours, reference)
+
+    def test_matches_networkx(self):
+        matrix = random_weighted_graph(12, seed=9)
+        g = nx.DiGraph()
+        n = len(matrix)
+        g.add_nodes_from(range(n))
+        for i in range(n):
+            for j in range(n):
+                if i != j and math.isfinite(matrix[i][j]):
+                    g.add_edge(i, j, weight=matrix[i][j])
+        lengths = dict(nx.all_pairs_dijkstra_path_length(g))
+        ours = floyd_warshall(matrix)
+        for i in range(n):
+            for j in range(n):
+                expected = lengths.get(i, {}).get(j, INF)
+                assert ours[i][j] == pytest.approx(expected)
+
+    def test_closure_matches_networkx(self):
+        adjacency = random_adjacency(15, seed=11)
+        g = nx.DiGraph()
+        n = len(adjacency)
+        g.add_nodes_from(range(n))
+        for i in range(n):
+            for j in range(n):
+                if adjacency[i][j]:
+                    g.add_edge(i, j)
+        closure = nx.transitive_closure(g, reflexive=True)
+        ours = transitive_closure(adjacency)
+        for i in range(n):
+            for j in range(n):
+                assert bool(ours[i][j]) == closure.has_edge(i, j)
+
+
+class TestVariantsAgree:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pure_vs_numpy(self, seed):
+        matrix = random_weighted_graph(16, seed=seed)
+        assert np.allclose(floyd_warshall(matrix), floyd_warshall_numpy(matrix))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_closure_pure_vs_numpy(self, seed):
+        adjacency = random_adjacency(12, seed=seed)
+        assert np.array_equal(
+            np.array(transitive_closure(adjacency)),
+            transitive_closure_numpy(adjacency),
+        )
+
+
+class TestProperties:
+    @given(st.integers(2, 12), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality(self, n, seed):
+        matrix = random_weighted_graph(n, seed=seed)
+        dist = floyd_warshall(matrix)
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert dist[i][j] <= dist[i][k] + dist[k][j] + 1e-9
+
+    @given(st.integers(2, 12), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_diagonal_and_monotonicity(self, n, seed):
+        matrix = random_weighted_graph(n, seed=seed)
+        dist = floyd_warshall(matrix)
+        for i in range(n):
+            assert dist[i][i] == 0.0
+            for j in range(n):
+                assert dist[i][j] <= matrix[i][j] or i == j
+
+    @given(st.integers(2, 10), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_idempotent(self, n, seed):
+        matrix = random_weighted_graph(n, seed=seed)
+        once = floyd_warshall(matrix)
+        twice = floyd_warshall(once)
+        assert np.allclose(once, twice)
+
+    @given(st.integers(2, 10), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_closure_idempotent_and_reflexive(self, n, seed):
+        adjacency = random_adjacency(n, seed=seed)
+        once = transitive_closure(adjacency)
+        assert transitive_closure(once) == once
+        assert all(once[i][i] == 1 for i in range(n))
+
+
+class TestGenerators:
+    def test_random_graph_shape(self):
+        matrix = random_weighted_graph(7, seed=1)
+        assert len(matrix) == 7 and all(len(r) == 7 for r in matrix)
+        assert all(matrix[i][i] == 0.0 for i in range(7))
+
+    def test_seed_reproducible(self):
+        assert random_weighted_graph(9, seed=4) == random_weighted_graph(9, seed=4)
+        assert random_adjacency(9, seed=4) == random_adjacency(9, seed=4)
+
+    def test_density_extremes(self):
+        empty = random_weighted_graph(6, density=0.0, seed=1)
+        assert all(
+            empty[i][j] == INF for i in range(6) for j in range(6) if i != j
+        )
+        full = random_adjacency(6, density=1.0, seed=1)
+        assert all(full[i][j] == 1 for i in range(6) for j in range(6) if i != j)

@@ -1,0 +1,131 @@
+"""Web-portal prototype tests: in-process service and HTTP wrapper."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.apps.montecarlo import build_pi_model, register_pi_tasks
+from repro.cn import Cluster
+from repro.cn.portal import Portal, PortalHTTPServer
+from repro.cn.registry import TaskRegistry
+from repro.core.xmi import write_graph
+
+
+@pytest.fixture(scope="module")
+def portal():
+    registry = register_pi_tasks(TaskRegistry())
+    portal = Portal(
+        Cluster(3, registry=registry, memory_per_node=64000), transform="native"
+    )
+    yield portal
+    portal.close()
+    portal.cluster.shutdown()
+
+
+@pytest.fixture(scope="module")
+def http_portal(portal):
+    server = PortalHTTPServer(portal).start()
+    yield server
+    server.stop()
+
+
+def pi_xmi(samples=20000, workers=3):
+    return write_graph(build_pi_model(samples=samples, seed=1, n_workers=workers))
+
+
+class TestPortalService:
+    def test_submit_runs_pipeline(self, portal):
+        submission = portal.submit(pi_xmi())
+        assert submission.status == "done"
+        assert submission.results[0]["pijoin"]["samples"] == 20000
+        assert "<cn2>" in submission.cnx_text
+        assert "def run(cluster" in submission.python_source
+        assert "public class" in submission.java_source
+
+    def test_failed_submission_recorded(self, portal):
+        submission = portal.submit("<not-xmi/>")
+        assert submission.status == "failed"
+        assert submission.error
+
+    def test_listing_and_lookup(self, portal):
+        before = len(portal.list())
+        submission = portal.submit(pi_xmi())
+        assert len(portal.list()) == before + 1
+        assert portal.get(submission.submission_id) is submission
+        with pytest.raises(KeyError):
+            portal.get(99999)
+
+    def test_artifacts_downloadable(self, portal):
+        submission = portal.submit(pi_xmi())
+        artifacts = submission.artifacts()
+        assert set(artifacts) == {"xmi", "cnx", "client.py", "client.java"}
+        assert artifacts["xmi"].startswith("<XMI")
+
+
+class TestPortalHTTP:
+    def url(self, server, path):
+        host, port = server.address
+        return f"http://{host}:{port}{path}"
+
+    def test_index_page(self, http_portal):
+        body = urllib.request.urlopen(self.url(http_portal, "/")).read().decode()
+        assert "CN Portal" in body
+
+    def test_submit_and_fetch(self, http_portal):
+        request = urllib.request.Request(
+            self.url(http_portal, "/submit"), data=pi_xmi().encode(), method="POST"
+        )
+        response = json.load(urllib.request.urlopen(request))
+        assert response["status"] == "done"
+        sid = response["id"]
+        detail = json.load(
+            urllib.request.urlopen(self.url(http_portal, f"/submission/{sid}"))
+        )
+        assert detail["results"][0]["pijoin"]["samples"] == 20000
+        cnx = (
+            urllib.request.urlopen(self.url(http_portal, f"/submission/{sid}/cnx"))
+            .read()
+            .decode()
+        )
+        assert "<cn2>" in cnx
+
+    def test_submissions_listing(self, http_portal):
+        listing = json.load(
+            urllib.request.urlopen(self.url(http_portal, "/submissions"))
+        )
+        assert isinstance(listing, list) and listing
+
+    def test_404s(self, http_portal):
+        for path in ("/nope", "/submission/424242", "/submission/1/ghost-artifact"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(self.url(http_portal, path))
+            assert excinfo.value.code == 404
+
+    def test_bad_submission_returns_500(self, http_portal):
+        request = urllib.request.Request(
+            self.url(http_portal, "/submit"), data=b"<garbage/>", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 500
+
+    def test_runtime_args_header(self, http_portal):
+        from repro.apps.floyd import register_floyd_tasks
+        from repro.apps.floyd.model import build_fig5_model
+        from repro.apps.floyd.io import store_matrix
+        from repro.apps.floyd.serial import random_weighted_graph
+
+        register_floyd_tasks(http_portal.portal.cluster.registry)
+        matrix = random_weighted_graph(6, seed=2)
+        source = store_matrix("portal-dyn", matrix)
+        xmi = write_graph(build_fig5_model(matrix_source=source, sink=""))
+        request = urllib.request.Request(
+            self.url(http_portal, "/submit"),
+            data=xmi.encode(),
+            method="POST",
+            headers={"X-Runtime-Args": json.dumps({"n_workers": 2})},
+        )
+        response = json.load(urllib.request.urlopen(request))
+        assert response["status"] == "done"

@@ -1,0 +1,138 @@
+"""Tuple-space tests, including property-based matching laws."""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cn.errors import MessageTimeout
+from repro.cn.tuplespace import TupleSpace, matches
+
+
+class TestMatching:
+    def test_exact(self):
+        assert matches(("a", 1), ("a", 1))
+        assert not matches(("a", 1), ("a", 2))
+
+    def test_wildcard(self):
+        assert matches((None, None), ("a", 1))
+
+    def test_length_mismatch(self):
+        assert not matches(("a",), ("a", 1))
+
+    def test_type_pattern(self):
+        assert matches(("k", int), ("k", 5))
+        assert not matches(("k", int), ("k", "5"))
+        assert matches((str, None), ("x", object()))
+
+
+class TestPrimitives:
+    def test_out_in(self):
+        ts = TupleSpace()
+        ts.out(("job", 1))
+        assert ts.in_(("job", None), timeout=0.1) == ("job", 1)
+        assert ts.count() == 0
+
+    def test_rd_does_not_remove(self):
+        ts = TupleSpace()
+        ts.out(("x", 1))
+        assert ts.rd(("x", None), timeout=0.1) == ("x", 1)
+        assert ts.count() == 1
+
+    def test_inp_rdp_nonblocking(self):
+        ts = TupleSpace()
+        assert ts.inp(("missing",)) is None
+        assert ts.rdp(("missing",)) is None
+        ts.out(("here",))
+        assert ts.rdp(("here",)) == ("here",)
+        assert ts.inp(("here",)) == ("here",)
+        assert ts.inp(("here",)) is None
+
+    def test_in_timeout(self):
+        ts = TupleSpace()
+        with pytest.raises(MessageTimeout):
+            ts.in_(("never",), timeout=0.05)
+
+    def test_in_blocks_until_out(self):
+        ts = TupleSpace()
+        result = []
+
+        def consumer():
+            result.append(ts.in_(("data", None), timeout=5))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.05)
+        ts.out(("data", 42))
+        thread.join(timeout=2)
+        assert result == [("data", 42)]
+
+    def test_fifo_within_pattern(self):
+        ts = TupleSpace()
+        ts.out(("x", 1))
+        ts.out(("x", 2))
+        assert ts.in_(("x", None), timeout=0.1) == ("x", 1)
+        assert ts.in_(("x", None), timeout=0.1) == ("x", 2)
+
+    def test_count_with_pattern(self):
+        ts = TupleSpace()
+        ts.out(("a", 1))
+        ts.out(("a", 2))
+        ts.out(("b", 1))
+        assert ts.count(("a", None)) == 2
+        assert ts.count() == 3
+
+    def test_snapshot_is_copy(self):
+        ts = TupleSpace()
+        ts.out(("x",))
+        snap = ts.snapshot()
+        snap.clear()
+        assert ts.count() == 1
+
+    def test_concurrent_consumers_each_get_one(self):
+        ts = TupleSpace()
+        got = []
+        lock = threading.Lock()
+
+        def consumer():
+            t = ts.in_(("w", None), timeout=5)
+            with lock:
+                got.append(t)
+
+        threads = [threading.Thread(target=consumer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for i in range(4):
+            ts.out(("w", i))
+        for t in threads:
+            t.join(timeout=2)
+        assert sorted(t[1] for t in got) == [0, 1, 2, 3]
+        assert ts.count() == 0
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.sampled_from("ab"), st.integers(0, 5)), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_out_then_drain_preserves_multiset(self, tuples):
+        ts = TupleSpace()
+        for t in tuples:
+            ts.out(t)
+        drained = []
+        while True:
+            t = ts.inp((None, None))
+            if t is None:
+                break
+            drained.append(t)
+        assert sorted(drained) == sorted(tuples)
+
+    @given(st.lists(st.tuples(st.integers(0, 3)), min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_rd_then_in_consistent(self, tuples):
+        ts = TupleSpace()
+        for t in tuples:
+            ts.out(t)
+        seen = ts.rd((None,), timeout=0.1)
+        taken = ts.in_((None,), timeout=0.1)
+        assert seen == taken

@@ -1,0 +1,128 @@
+"""Property-based roundtrips across the whole artifact chain.
+
+Random job graphs (hypothesis-generated DAG shapes, tags, params) must
+survive: model -> XMI -> model, model -> XMI -> XSLT -> CNX -> emit ->
+parse, and CNX -> generated client -> rebuilt document.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cnx import emit, parse
+from repro.core.transform.cnx2code import cnx_to_python_xslt
+from repro.core.transform.xmi2cnx import graph_to_cnx, xmi_to_cnx_native
+from repro.core.uml import ActivityBuilder
+from repro.core.xmi import read_graphs, write_graph
+
+_name_alphabet = string.ascii_lowercase + string.digits
+_names = st.text(alphabet=_name_alphabet, min_size=1, max_size=8)
+_values = st.text(
+    alphabet=string.ascii_letters + string.digits + " ._-/",
+    max_size=12,
+)
+
+
+@st.composite
+def job_graphs(draw):
+    """A random valid split -> stages-of-workers -> join job graph."""
+    b = ActivityBuilder("G" + draw(_names))
+    n_layers = draw(st.integers(1, 3))
+    previous = b.task(
+        "entry",
+        jar=draw(_names) + ".jar",
+        cls="pkg." + draw(_names),
+        memory=draw(st.integers(1, 9999)),
+        params=[("String", draw(_values))],
+    )
+    b.chain(b.initial(), previous)
+    for layer in range(n_layers):
+        width = draw(st.integers(1, 4))
+        workers = [
+            b.task(
+                f"L{layer}w{i}",
+                jar=draw(_names) + ".jar",
+                cls="pkg." + draw(_names),
+                memory=draw(st.integers(1, 9999)),
+                params=[
+                    ("Integer", str(draw(st.integers(0, 999))))
+                    for _ in range(draw(st.integers(0, 2)))
+                ],
+            )
+            for i in range(width)
+        ]
+        sink = b.task(f"L{layer}sink", jar="s.jar", cls="pkg.Sink")
+        b.fan_out_in(previous, workers, sink)
+        previous = sink
+    b.chain(previous, b.final())
+    return b.build()
+
+
+def graph_signature(graph):
+    return {
+        "name": graph.name,
+        "deps": graph.action_dependencies(),
+        "tags": {a.name: a.tags_dict() for a in graph.action_states()},
+    }
+
+
+def cnx_signature(doc):
+    return {
+        "cls": doc.client.cls,
+        "tasks": {
+            t.name: (
+                t.jar,
+                t.cls,
+                tuple(sorted(t.depends)),
+                t.task_req.memory,
+                t.task_req.runmodel,
+                tuple((p.type, p.value) for p in t.params),
+            )
+            for job in doc.client.jobs
+            for t in job.tasks
+        },
+    }
+
+
+class TestModelXmiRoundtrip:
+    @given(job_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_xmi_roundtrip_preserves_model(self, graph):
+        restored = read_graphs(write_graph(graph))[0]
+        assert graph_signature(restored) == graph_signature(graph)
+
+    @given(job_graphs())
+    @settings(max_examples=15, deadline=None)
+    def test_double_export_stable(self, graph):
+        once = write_graph(graph)
+        twice = write_graph(read_graphs(once)[0])
+        assert once == twice
+
+
+class TestCnxChainRoundtrip:
+    @given(job_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_emit_parse_roundtrip(self, graph):
+        doc = graph_to_cnx(graph)
+        reparsed = parse(emit(doc))
+        assert cnx_signature(reparsed) == cnx_signature(doc)
+
+    @given(job_graphs())
+    @settings(max_examples=15, deadline=None)
+    def test_xmi_path_equals_direct_path(self, graph):
+        direct = graph_to_cnx(graph)
+        via_xmi = xmi_to_cnx_native(write_graph(graph))
+        assert cnx_signature(direct) == cnx_signature(via_xmi)
+
+    @given(job_graphs())
+    @settings(max_examples=10, deadline=None)
+    def test_generated_client_rebuilds_document(self, graph):
+        """The cnx2py.xsl client embeds a build_document() that must
+        reconstruct the descriptor it was generated from."""
+        doc = graph_to_cnx(graph)
+        source = cnx_to_python_xslt(doc)
+        namespace: dict = {}
+        exec(compile(source, "<gen>", "exec"), namespace)
+        rebuilt = namespace["build_document"]()
+        assert cnx_signature(rebuilt) == cnx_signature(doc)

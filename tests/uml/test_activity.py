@@ -1,0 +1,196 @@
+"""Activity-graph metamodel tests."""
+
+import pytest
+
+from repro.core.uml import (
+    ActivityBuilder,
+    ActivityGraph,
+    GraphValidationError,
+    collect_problems,
+    validate_graph,
+)
+
+
+def fig3_graph(n_workers=3):
+    b = ActivityBuilder("G")
+    split = b.task("split", jar="s.jar", cls="S")
+    workers = [b.task(f"w{i}", jar="w.jar", cls="W") for i in range(1, n_workers + 1)]
+    join = b.task("join", jar="j.jar", cls="J")
+    b.chain(b.initial(), split)
+    b.fan_out_in(split, workers, join)
+    b.chain(join, b.final())
+    return b.build()
+
+
+class TestConstruction:
+    def test_duplicate_vertex_rejected(self):
+        g = ActivityGraph("G")
+        g.add_action("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add_action("x")
+
+    def test_transition_endpoints_must_belong(self):
+        g1, g2 = ActivityGraph("A"), ActivityGraph("B")
+        a = g1.add_action("a")
+        b = g2.add_action("b")
+        with pytest.raises(ValueError):
+            g1.add_transition(a, b)
+
+    def test_find(self):
+        g = fig3_graph()
+        assert g.find("split").name == "split"
+        with pytest.raises(KeyError):
+            g.find("ghost")
+
+    def test_incoming_outgoing_kept_consistent(self):
+        g = ActivityGraph("G")
+        a, b = g.add_action("a"), g.add_action("b")
+        t = g.add_transition(a, b)
+        assert a.outgoing == [t] and b.incoming == [t]
+        assert a.successors() == [b] and b.predecessors() == [a]
+
+
+class TestDependencies:
+    def test_fig3_dependency_relation(self):
+        g = fig3_graph(3)
+        deps = g.action_dependencies()
+        assert deps["split"] == []
+        assert deps["w1"] == ["split"]
+        assert deps["join"] == ["w1", "w2", "w3"]
+
+    def test_pseudostates_transparent_in_chain(self):
+        b = ActivityBuilder("G")
+        a = b.task("a", jar="x.jar", cls="X")
+        c = b.task("c", jar="x.jar", cls="X")
+        b.chain(b.initial(), a, c, b.final())
+        deps = b.build().action_dependencies()
+        assert deps == {"a": [], "c": ["a"]}
+
+    def test_nested_forks(self):
+        # a -> fork -> (b, fork2 -> (c, d) -> join2 -> e) -> join -> f
+        g = ActivityGraph("G")
+        init = g.add_initial()
+        a, bb, c, d, e, f = (g.add_action(x) for x in "abcdef")
+        fork, fork2 = g.add_fork("f1"), g.add_fork("f2")
+        join, join2 = g.add_join("j1"), g.add_join("j2")
+        final = g.add_final()
+        g.add_transition(init, a)
+        g.add_transition(a, fork)
+        g.add_transition(fork, bb)
+        g.add_transition(fork, fork2)
+        g.add_transition(fork2, c)
+        g.add_transition(fork2, d)
+        g.add_transition(c, join2)
+        g.add_transition(d, join2)
+        g.add_transition(join2, e)
+        g.add_transition(bb, join)
+        g.add_transition(e, join)
+        g.add_transition(join, f)
+        g.add_transition(f, final)
+        deps = g.action_dependencies()
+        assert deps["c"] == ["a"] and deps["d"] == ["a"]
+        assert deps["e"] == ["c", "d"]
+        assert deps["f"] == ["b", "e"]
+
+    def test_topological_order_respects_deps(self):
+        g = fig3_graph(4)
+        order = [a.name for a in g.topological_actions()]
+        assert order.index("split") < order.index("w1")
+        assert order.index("w4") < order.index("join")
+
+    def test_cycle_detection(self):
+        g = ActivityGraph("G")
+        a, b = g.add_action("a"), g.add_action("b")
+        g.add_transition(a, b)
+        g.add_transition(b, a)
+        with pytest.raises(ValueError, match="cycle"):
+            g.topological_actions()
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        validate_graph(fig3_graph())
+
+    def test_missing_initial(self):
+        g = ActivityGraph("G")
+        a = g.add_action("a")
+        a.set_tag("jar", "x.jar")
+        a.set_tag("class", "X")
+        g.add_final()
+        problems = collect_problems(g)
+        assert any("initial" in p for p in problems)
+
+    def test_missing_final(self):
+        b = ActivityBuilder("G")
+        a = b.task("a", jar="x.jar", cls="X")
+        b.chain(b.initial(), a)
+        problems = collect_problems(b.graph)
+        assert any("final" in p for p in problems)
+
+    def test_unreachable_vertex(self):
+        b = ActivityBuilder("G")
+        a = b.task("a", jar="x.jar", cls="X")
+        b.chain(b.initial(), a, b.final())
+        orphan = b.task("orphan", jar="x.jar", cls="X")
+        problems = collect_problems(b.graph)
+        assert any("unreachable" in p for p in problems)
+
+    def test_missing_required_tag(self):
+        g = ActivityGraph("G")
+        init = g.add_initial()
+        a = g.add_action("a")
+        final = g.add_final()
+        g.add_transition(init, a)
+        g.add_transition(a, final)
+        problems = collect_problems(g)
+        assert any("jar" in p for p in problems)
+        assert any("class" in p for p in problems)
+
+    def test_bad_memory(self):
+        b = ActivityBuilder("G")
+        a = b.task("a", jar="x.jar", cls="X")
+        a.set_tag("memory", "-5")
+        b.chain(b.initial(), a, b.final())
+        assert any("memory" in p for p in collect_problems(b.graph))
+
+    def test_unknown_runmodel(self):
+        b = ActivityBuilder("G")
+        a = b.task("a", jar="x.jar", cls="X")
+        a.set_tag("runmodel", "RUN_ON_MARS")
+        b.chain(b.initial(), a, b.final())
+        assert any("runmodel" in p for p in collect_problems(b.graph))
+
+    def test_fork_arity(self):
+        g = ActivityGraph("G")
+        init = g.add_initial()
+        fork = g.add_fork("f")
+        a = g.add_action("a")
+        a.set_tag("jar", "x.jar")
+        a.set_tag("class", "X")
+        final = g.add_final()
+        g.add_transition(init, fork)
+        g.add_transition(fork, a)  # only one branch
+        g.add_transition(a, final)
+        assert any("fork" in p for p in collect_problems(g))
+
+    def test_error_lists_all_problems(self):
+        g = ActivityGraph("G")
+        g.add_action("a")  # no tags, no transitions, no initial/final
+        with pytest.raises(GraphValidationError) as excinfo:
+            validate_graph(g)
+        assert len(excinfo.value.problems) >= 3
+
+    def test_unpaired_params(self):
+        b = ActivityBuilder("G")
+        a = b.task("a", jar="x.jar", cls="X")
+        a.set_tag("ptype0", "Integer")  # pvalue0 missing
+        b.chain(b.initial(), a, b.final())
+        assert any("unpaired" in p for p in collect_problems(b.graph))
+
+    def test_gap_in_param_indices(self):
+        b = ActivityBuilder("G")
+        a = b.task("a", jar="x.jar", cls="X", params=[("Integer", "1")])
+        a.set_tag("ptype2", "Integer")
+        a.set_tag("pvalue2", "3")
+        b.chain(b.initial(), a, b.final())
+        assert any("contiguous" in p for p in collect_problems(b.graph))

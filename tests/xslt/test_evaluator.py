@@ -1,0 +1,228 @@
+"""Evaluator tests: axes, predicates, functions, operators, coercions."""
+
+import math
+
+import pytest
+
+from repro.xslt.xpath import (
+    Context,
+    XPathEvalError,
+    build_document,
+    evaluate,
+    evaluate_boolean,
+    evaluate_nodeset,
+    evaluate_number,
+    evaluate_string,
+)
+
+DOC = """
+<library>
+  <shelf id="s1">
+    <book title="A" year="1999" pages="100"><author>X</author></book>
+    <book title="B" year="2005" pages="250"><author>Y</author><author>Z</author></book>
+  </shelf>
+  <shelf id="s2">
+    <book title="C" year="2005" pages="50"><author>X</author></book>
+  </shelf>
+</library>
+"""
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return Context(build_document(DOC))
+
+
+def titles(nodes):
+    return [n.get("title") for n in nodes]
+
+
+class TestAxes:
+    def test_child(self, ctx):
+        assert len(evaluate("/library/shelf", ctx)) == 2
+
+    def test_descendant_or_self_abbrev(self, ctx):
+        assert titles(evaluate("//book", ctx)) == ["A", "B", "C"]
+
+    def test_attribute(self, ctx):
+        assert evaluate_string("/library/shelf[1]/@id", ctx) == "s1"
+
+    def test_parent(self, ctx):
+        assert evaluate("//book[@title='A']/..", ctx)[0].get("id") == "s1"
+
+    def test_ancestor(self, ctx):
+        names = [n.name for n in evaluate("//author[1]/ancestor::*", ctx)]
+        assert "library" in names and "shelf" in names and "book" in names
+
+    def test_self(self, ctx):
+        assert titles(evaluate("//book[@title='B']/self::book", ctx)) == ["B"]
+
+    def test_following_sibling(self, ctx):
+        assert titles(evaluate("//book[@title='A']/following-sibling::book", ctx)) == ["B"]
+
+    def test_preceding_sibling(self, ctx):
+        assert titles(evaluate("//book[@title='B']/preceding-sibling::book", ctx)) == ["A"]
+
+    def test_preceding_sibling_position_is_reverse(self, ctx):
+        # nearest preceding sibling is position 1
+        doc2 = build_document("<r><a n='1'/><a n='2'/><a n='3'/></r>")
+        nodes = evaluate("//a[3]/preceding-sibling::a[1]", Context(doc2))
+        assert [n.get("n") for n in nodes] == ["2"]
+
+    def test_following(self, ctx):
+        after = evaluate("//book[@title='B']/following::book", ctx)
+        assert titles(after) == ["C"]
+
+    def test_preceding(self, ctx):
+        before = evaluate("//book[@title='C']/preceding::book", ctx)
+        assert sorted(titles(before)) == ["A", "B"]
+
+    def test_descendant(self, ctx):
+        assert len(evaluate("/library/descendant::author", ctx)) == 4
+
+    def test_ancestor_or_self(self, ctx):
+        nodes = evaluate("//book[@title='A']/ancestor-or-self::*", ctx)
+        assert [n.name for n in nodes] == ["library", "shelf", "book"]
+
+
+class TestPredicates:
+    def test_positional(self, ctx):
+        assert titles(evaluate("//book[2]", ctx)) == ["B"]
+
+    def test_last(self, ctx):
+        assert titles(evaluate("//shelf[1]/book[last()]", ctx)) == ["B"]
+
+    def test_attribute_equality(self, ctx):
+        assert titles(evaluate("//book[@year='2005']", ctx)) == ["B", "C"]
+
+    def test_numeric_comparison(self, ctx):
+        assert titles(evaluate("//book[@pages > 90]", ctx)) == ["A", "B"]
+
+    def test_nested_path_predicate(self, ctx):
+        assert titles(evaluate("//book[author='Z']", ctx)) == ["B"]
+
+    def test_chained_predicates_apply_per_parent(self, ctx):
+        # //book[...][1] filters within each parent shelf (XPath 1.0
+        # abbreviation semantics), NOT across the whole document
+        assert titles(evaluate("//book[@year='2005'][1]", ctx)) == ["B", "C"]
+
+    def test_global_first_needs_parentheses(self, ctx):
+        assert titles(evaluate("(//book[@year='2005'])[1]", ctx)) == ["B"]
+
+    def test_position_function_is_per_parent(self, ctx):
+        assert titles(evaluate("//book[position() = 3]", ctx)) == []
+        assert titles(evaluate("(//book)[position() = 3]", ctx)) == ["C"]
+
+    def test_count_in_predicate(self, ctx):
+        assert titles(evaluate("//book[count(author) = 2]", ctx)) == ["B"]
+
+
+class TestNodesetSemantics:
+    def test_document_order(self, ctx):
+        nodes = evaluate("//author | //book", ctx)
+        orders = [n.doc_order for n in nodes]
+        assert orders == sorted(orders)
+
+    def test_dedup(self, ctx):
+        nodes = evaluate("//book | //book", ctx)
+        assert len(nodes) == 3
+
+    def test_union_mixed(self, ctx):
+        nodes = evaluate("//shelf/@id | //book/@title", ctx)
+        assert len(nodes) == 5
+
+    def test_existential_equality(self, ctx):
+        # at least one author equals 'Z'
+        assert evaluate_boolean("//author = 'Z'", ctx)
+        assert not evaluate_boolean("//author = 'W'", ctx)
+
+    def test_existential_inequality_both_true(self, ctx):
+        # != is also existential: some author != 'X'
+        assert evaluate_boolean("//author != 'X'", ctx)
+        assert evaluate_boolean("//author = 'X'", ctx)
+
+    def test_nodeset_vs_number(self, ctx):
+        assert evaluate_boolean("//book/@pages = 250", ctx)
+
+    def test_nodeset_vs_boolean_uses_whole_set(self, ctx):
+        assert evaluate_boolean("//book = true()", ctx)
+        assert evaluate_boolean("//missing = false()", ctx)
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("1 + 2", 3.0),
+            ("5 - 3", 2.0),
+            ("4 * 2.5", 10.0),
+            ("7 div 2", 3.5),
+            ("7 mod 2", 1.0),
+            ("-7 mod 2", -1.0),
+            ("- 5", -5.0),
+        ],
+    )
+    def test_arithmetic(self, ctx, expr, expected):
+        assert evaluate(expr, ctx) == expected
+
+    def test_div_by_zero_inf(self, ctx):
+        assert evaluate("1 div 0", ctx) == math.inf
+        assert evaluate("-1 div 0", ctx) == -math.inf
+
+    def test_zero_div_zero_nan(self, ctx):
+        assert math.isnan(evaluate("0 div 0", ctx))
+
+    def test_mod_zero_nan(self, ctx):
+        assert math.isnan(evaluate("1 mod 0", ctx))
+
+    def test_comparisons(self, ctx):
+        assert evaluate_boolean("1 < 2", ctx)
+        assert evaluate_boolean("2 <= 2", ctx)
+        assert not evaluate_boolean("3 < 2", ctx)
+        assert evaluate_boolean("'abc' = 'abc'", ctx)
+        assert evaluate_boolean("'abc' != 'abd'", ctx)
+
+    def test_nan_comparisons_false(self, ctx):
+        assert not evaluate_boolean("(0 div 0) < 1", ctx)
+        assert not evaluate_boolean("(0 div 0) > 1", ctx)
+
+    def test_boolean_operators_shortcircuit(self, ctx):
+        # 'or' must not evaluate the right side when left is true;
+        # an unknown function would raise if evaluated
+        assert evaluate_boolean("true() or nosuchfunction()", ctx)
+        assert not evaluate_boolean("false() and nosuchfunction()", ctx)
+
+    def test_string_number_comparison(self, ctx):
+        assert evaluate_boolean("'10' = 10", ctx)
+
+
+class TestErrors:
+    def test_unbound_variable(self, ctx):
+        with pytest.raises(XPathEvalError):
+            evaluate("$nope", ctx)
+
+    def test_unknown_function(self, ctx):
+        with pytest.raises(XPathEvalError):
+            evaluate("nosuch()", ctx)
+
+    def test_nodeset_required(self, ctx):
+        with pytest.raises(XPathEvalError):
+            evaluate_nodeset("1 + 1", ctx)
+
+
+class TestVariables:
+    def test_variable_lookup(self):
+        doc = build_document("<r/>")
+        ctx = Context(doc, variables={"x": 41.0})
+        assert evaluate("$x + 1", ctx) == 42.0
+
+    def test_variable_nodeset(self):
+        doc = build_document("<r><a/><a/></r>")
+        nodes = evaluate("//a", Context(doc))
+        ctx = Context(doc, variables={"nodes": nodes})
+        assert evaluate_number("count($nodes)", ctx) == 2.0
+
+    def test_variable_in_predicate(self):
+        doc = build_document("<r><a n='1'/><a n='2'/></r>")
+        ctx = Context(doc, variables={"want": "2"})
+        assert [n.get("n") for n in evaluate("//a[@n = $want]", ctx)] == ["2"]

@@ -1,0 +1,185 @@
+"""Core function library tests (XPath 1.0 sections 4.1-4.4)."""
+
+import math
+
+import pytest
+
+from repro.xslt.xpath import Context, build_document, evaluate, evaluate_number, evaluate_string
+
+DOC = "<r><a>alpha</a><b> beta  gamma </b><n>7</n><n>3.5</n><e/></r>"
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return Context(build_document(DOC))
+
+
+class TestStringFunctions:
+    def test_string_of_nodeset_is_first_node(self, ctx):
+        assert evaluate_string("string(//n)", ctx) == "7"
+
+    def test_string_of_number(self, ctx):
+        assert evaluate_string("string(12)", ctx) == "12"
+        assert evaluate_string("string(1.5)", ctx) == "1.5"
+
+    def test_string_of_boolean(self, ctx):
+        assert evaluate_string("string(true())", ctx) == "true"
+        assert evaluate_string("string(1 = 2)", ctx) == "false"
+
+    def test_string_nan_inf(self, ctx):
+        assert evaluate_string("string(0 div 0)", ctx) == "NaN"
+        assert evaluate_string("string(1 div 0)", ctx) == "Infinity"
+        assert evaluate_string("string(-1 div 0)", ctx) == "-Infinity"
+
+    def test_concat(self, ctx):
+        assert evaluate_string("concat('a', 'b', 'c', 'd')", ctx) == "abcd"
+
+    def test_concat_requires_two(self, ctx):
+        with pytest.raises(Exception):
+            evaluate("concat('a')", ctx)
+
+    def test_starts_with(self, ctx):
+        assert evaluate("starts-with('tctask5', 'tctask')", ctx) is True
+        assert evaluate("starts-with('x', 'tctask')", ctx) is False
+
+    def test_contains(self, ctx):
+        assert evaluate("contains('hello world', 'lo w')", ctx) is True
+        assert evaluate("contains('hello', 'z')", ctx) is False
+
+    def test_substring_before_after(self, ctx):
+        assert evaluate_string("substring-before('1999/04/01', '/')", ctx) == "1999"
+        assert evaluate_string("substring-after('1999/04/01', '/')", ctx) == "04/01"
+        assert evaluate_string("substring-before('abc', 'z')", ctx) == ""
+        assert evaluate_string("substring-after('abc', 'z')", ctx) == ""
+
+    def test_substring_basic(self, ctx):
+        assert evaluate_string("substring('12345', 2, 3)", ctx) == "234"
+        assert evaluate_string("substring('12345', 2)", ctx) == "2345"
+
+    def test_substring_spec_edge_cases(self, ctx):
+        # the famous spec examples
+        assert evaluate_string("substring('12345', 1.5, 2.6)", ctx) == "234"
+        assert evaluate_string("substring('12345', 0, 3)", ctx) == "12"
+        assert evaluate_string("substring('12345', 0 div 0, 3)", ctx) == ""
+        assert evaluate_string("substring('12345', 1, 0 div 0)", ctx) == ""
+        assert evaluate_string("substring('12345', -42, 1 div 0)", ctx) == "12345"
+
+    def test_string_length(self, ctx):
+        assert evaluate_number("string-length('abc')", ctx) == 3.0
+
+    def test_string_length_context(self, ctx):
+        nodes = evaluate("//a", ctx)
+        sub = Context(nodes[0])
+        assert evaluate_number("string-length()", sub) == 5.0
+
+    def test_normalize_space(self, ctx):
+        assert evaluate_string("normalize-space('  a   b  c ')", ctx) == "a b c"
+
+    def test_normalize_space_context(self, ctx):
+        nodes = evaluate("//b", ctx)
+        assert evaluate_string("normalize-space()", Context(nodes[0])) == "beta gamma"
+
+    def test_translate(self, ctx):
+        assert evaluate_string("translate('bar', 'abc', 'ABC')", ctx) == "BAr"
+        assert evaluate_string("translate('--aaa--', 'abc-', 'ABC')", ctx) == "AAA"
+
+    def test_translate_first_mapping_wins(self, ctx):
+        assert evaluate_string("translate('a', 'aa', 'bc')", ctx) == "b"
+
+
+class TestNumberFunctions:
+    def test_number_of_string(self, ctx):
+        assert evaluate_number("number(' 12.5 ')", ctx) == 12.5
+
+    def test_number_of_garbage_is_nan(self, ctx):
+        assert math.isnan(evaluate_number("number('abc')", ctx))
+
+    def test_number_of_boolean(self, ctx):
+        assert evaluate_number("number(true())", ctx) == 1.0
+
+    def test_number_context_node(self, ctx):
+        nodes = evaluate("//n", ctx)
+        assert evaluate_number("number()", Context(nodes[0])) == 7.0
+
+    def test_sum(self, ctx):
+        assert evaluate_number("sum(//n)", ctx) == 10.5
+
+    def test_floor_ceiling(self, ctx):
+        assert evaluate_number("floor(2.6)", ctx) == 2.0
+        assert evaluate_number("ceiling(2.2)", ctx) == 3.0
+        assert evaluate_number("floor(-2.5)", ctx) == -3.0
+
+    def test_round_half_up(self, ctx):
+        assert evaluate_number("round(2.5)", ctx) == 3.0
+        assert evaluate_number("round(-2.5)", ctx) == -2.0
+        assert evaluate_number("round(2.4)", ctx) == 2.0
+
+
+class TestBooleanFunctions:
+    def test_boolean_conversions(self, ctx):
+        assert evaluate("boolean('x')", ctx) is True
+        assert evaluate("boolean('')", ctx) is False
+        assert evaluate("boolean(0)", ctx) is False
+        assert evaluate("boolean(0 div 0)", ctx) is False
+        assert evaluate("boolean(//a)", ctx) is True
+        assert evaluate("boolean(//missing)", ctx) is False
+
+    def test_not(self, ctx):
+        assert evaluate("not(false())", ctx) is True
+
+    def test_true_false(self, ctx):
+        assert evaluate("true()", ctx) is True
+        assert evaluate("false()", ctx) is False
+
+
+class TestNodesetFunctions:
+    def test_count(self, ctx):
+        assert evaluate_number("count(//n)", ctx) == 2.0
+
+    def test_position_last_in_context(self, ctx):
+        doc = build_document("<r><x/><x/><x/></r>")
+        nodes = evaluate("//x[position() = last()]", Context(doc))
+        assert len(nodes) == 1
+
+    def test_name_and_local_name(self, ctx):
+        assert evaluate_string("name(//a)", ctx) == "a"
+        assert evaluate_string("local-name(//a)", ctx) == "a"
+
+    def test_local_name_strips_prefix(self):
+        from repro.util.xmlutil import parse_prefixed
+
+        doc = build_document(
+            parse_prefixed("<UML:Model xmi.id='m'/>"), restore_prefixes=True
+        )
+        ctx = Context(doc)
+        assert evaluate_string("name(/*)", ctx) == "UML:Model"
+        assert evaluate_string("local-name(/*)", ctx) == "Model"
+
+    def test_name_of_empty_set(self, ctx):
+        assert evaluate_string("name(//missing)", ctx) == ""
+
+    def test_id_function(self):
+        doc = build_document("<r><x id='a'/><x id='b'/></r>")
+        ctx = Context(doc)
+        assert len(evaluate("id('a b')", ctx)) == 2
+        assert len(evaluate("id('zzz')", ctx)) == 0
+
+
+class TestLang:
+    def test_lang_matching(self):
+        doc = build_document(
+            '<r xml:lang="en"><a/><b xml:lang="de-AT"><c/></b></r>'
+        )
+        a = evaluate("//a", Context(doc))[0]
+        c = evaluate("//c", Context(doc))[0]
+        assert evaluate("lang('en')", Context(a)) is True
+        assert evaluate("lang('EN')", Context(a)) is True
+        assert evaluate("lang('de')", Context(a)) is False
+        assert evaluate("lang('de')", Context(c)) is True  # de-AT matches de
+        assert evaluate("lang('de-AT')", Context(c)) is True
+        assert evaluate("lang('at')", Context(c)) is False
+
+    def test_lang_without_declaration(self):
+        doc = build_document("<r><a/></r>")
+        a = evaluate("//a", Context(doc))[0]
+        assert evaluate("lang('en')", Context(a)) is False

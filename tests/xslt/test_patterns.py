@@ -1,0 +1,122 @@
+"""Match-pattern tests: subset enforcement, matching, default priorities."""
+
+import pytest
+
+from repro.xslt.patterns import PatternError, compile_pattern
+from repro.xslt.xpath import Context, build_document, evaluate
+
+DOC = """
+<cn2>
+  <client class="C">
+    <job>
+      <task name="t0"><param type="String">x</param></task>
+      <task name="t1"><param type="Integer">1</param><param type="Integer">2</param></task>
+    </job>
+  </client>
+</cn2>
+"""
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return build_document(DOC)
+
+
+def node(doc, expr):
+    return evaluate(expr, Context(doc))[0]
+
+
+def match(pattern, target):
+    return compile_pattern(pattern).matches(target, Context(target))
+
+
+class TestMatching:
+    def test_name_pattern(self, doc):
+        assert match("task", node(doc, "//task"))
+        assert not match("task", node(doc, "//param"))
+
+    def test_root_pattern(self, doc):
+        assert match("/", doc)
+        assert not match("/", node(doc, "/cn2"))
+
+    def test_absolute_pattern(self, doc):
+        assert match("/cn2", node(doc, "/cn2"))
+        assert not match("/task", node(doc, "//task"))
+
+    def test_path_pattern(self, doc):
+        assert match("job/task", node(doc, "//task"))
+        assert not match("client/task", node(doc, "//task"))
+
+    def test_descendant_pattern(self, doc):
+        assert match("cn2//param", node(doc, "//param"))
+        assert match("//param", node(doc, "//param"))
+        assert not match("cn2//missing", node(doc, "//param"))
+
+    def test_descendant_skips_levels(self, doc):
+        assert match("client//param", node(doc, "//param"))
+
+    def test_wildcard(self, doc):
+        assert match("*", node(doc, "//task"))
+        assert match("job/*", node(doc, "//task"))
+
+    def test_attribute_pattern(self, doc):
+        attr = evaluate("//task/@name", Context(doc))[0]
+        assert match("@name", attr)
+        assert match("task/@name", attr)
+        assert not match("@type", attr)
+
+    def test_text_pattern(self, doc):
+        text = node(doc, "//param").children()[0]
+        assert match("text()", text)
+
+    def test_node_pattern(self, doc):
+        assert match("node()", node(doc, "//task"))
+
+    def test_predicate_value(self, doc):
+        t0 = node(doc, "//task[@name='t0']")
+        t1 = node(doc, "//task[@name='t1']")
+        pattern = "task[@name='t0']"
+        assert match(pattern, t0)
+        assert not match(pattern, t1)
+
+    def test_positional_predicate(self, doc):
+        params = evaluate("//task[@name='t1']/param", Context(doc))
+        assert match("param[2]", params[1])
+        assert not match("param[2]", params[0])
+
+    def test_union_pattern(self, doc):
+        pattern = "task | param"
+        assert match(pattern, node(doc, "//task"))
+        assert match(pattern, node(doc, "//param"))
+        assert not match(pattern, node(doc, "//job"))
+
+
+class TestSubsetEnforcement:
+    @pytest.mark.parametrize("bad", ["1 + 1", "count(x)", "$var", "ancestor::a"])
+    def test_rejects_non_patterns(self, bad):
+        with pytest.raises(PatternError):
+            compile_pattern(bad)
+
+
+class TestDefaultPriority:
+    @pytest.mark.parametrize(
+        "pattern,priority",
+        [
+            ("task", 0.0),
+            ("UML:ActionState", 0.0),
+            ("*", -0.5),
+            ("UML:*", -0.25),
+            ("node()", -0.5),
+            ("text()", -0.5),
+            ("job/task", 0.5),
+            ("task[@x]", 0.5),
+            ("/", 0.5),
+        ],
+    )
+    def test_priorities(self, pattern, priority):
+        assert compile_pattern(pattern).default_priority() == priority
+
+    def test_union_split(self):
+        parts = compile_pattern("a | b").split()
+        assert len(parts) == 2
+        assert all(p.default_priority() == 0.0 for p in parts)
