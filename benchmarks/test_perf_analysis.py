@@ -1,0 +1,83 @@
+"""PERF -- static analyzer throughput vs. composition size.
+
+``repro.analysis`` runs on every client submission and portal upload, so
+its cost must stay negligible next to the transform pipeline it guards.
+This bench sweeps generated Floyd jobs (N workers -> N+2 tasks), times a
+full ``analyze_cnx`` battery at each size, and writes the measured
+series to ``benchmarks/out/``.  Every descriptor is clean by
+construction, so the analyzer must come back with zero findings at every
+size -- a silent mis-parse would show up here as a diagnostic, not just
+as a timing blip.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import AnalysisContext, ClusterSpec, analyze_cnx, from_cnx
+from repro.apps.floyd.model import build_fig3_model
+from repro.core.transform.xmi2cnx import xmi_to_cnx_native
+from repro.core.xmi import write_graph
+
+SIZES = [4, 16, 64, 256]
+
+# Roomy placement context so CN6xx passes run (and pass) at every size.
+BIG_CLUSTER = AnalysisContext(
+    cluster=ClusterSpec(nodes=64, memory_per_node=512000, slots_per_node=1024)
+)
+
+
+def floyd_descriptor(n_workers: int):
+    return xmi_to_cnx_native(write_graph(build_fig3_model(n_workers=n_workers)))
+
+
+@pytest.fixture(scope="module")
+def descriptors():
+    return {n: floyd_descriptor(n) for n in SIZES}
+
+
+@pytest.mark.parametrize("n_workers", SIZES)
+def test_bench_analyze(benchmark, descriptors, n_workers):
+    doc = descriptors[n_workers]
+    report = benchmark.pedantic(
+        analyze_cnx, args=(doc, BIG_CLUSTER), rounds=3, iterations=1
+    )
+    assert report.ok, report.render(title=f"floyd N={n_workers}")
+
+
+def test_analysis_scaling_report(descriptors, report):
+    """Manual sweep: wall time for extraction + every pass, per size."""
+    report.line("static analyzer wall time vs. Floyd composition size")
+    report.line("(native transform descriptor, full default pass battery)")
+    report.line()
+    rows = []
+    for n_workers in SIZES:
+        doc = descriptors[n_workers]
+        n_tasks = len(doc.client.jobs[0].tasks)
+
+        start = time.perf_counter()
+        comp = from_cnx(doc)
+        extract_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        result = analyze_cnx(doc, BIG_CLUSTER)
+        total_seconds = time.perf_counter() - start
+
+        assert result.ok, result.render(title=f"floyd N={n_workers}")
+        assert len(comp.all_tasks()) == n_tasks
+        rows.append(
+            [
+                n_workers,
+                n_tasks,
+                f"{extract_seconds * 1000:.2f}",
+                f"{total_seconds * 1000:.2f}",
+                f"{total_seconds * 1000 / n_tasks:.3f}",
+            ]
+        )
+    report.table(
+        ["workers", "tasks", "extract ms", "analyze ms", "ms/task"], rows
+    )
+    report.line()
+    report.line("all sizes analyzed clean: 0 error(s), 0 warning(s)")

@@ -1,0 +1,131 @@
+"""``python -m repro.analysis`` -- the cnlint command line.
+
+Runs the full pass battery over one or more XMI/CNX documents and prints
+a per-file report.  Exit status: 0 when every file is clean of
+error-severity findings, 1 when any file has errors (or warnings under
+``--werror``), 2 when a file cannot be read or parsed at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .diagnostics import Diagnostic, Severity, SourceLocation
+from .ir import ClusterSpec
+from .passes import CODES, AnalysisContext, analyze_source
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="cnlint: static analysis of CN job compositions "
+        "(UML/XMI models and CNX descriptors)",
+    )
+    parser.add_argument("files", nargs="*", help="XMI or CNX documents to analyze")
+    parser.add_argument(
+        "--json", action="store_true", help="emit diagnostics as JSON"
+    )
+    parser.add_argument(
+        "--werror",
+        action="store_true",
+        help="exit non-zero on warnings too",
+    )
+    parser.add_argument(
+        "--no-hints", action="store_true", help="omit fix hints from the report"
+    )
+    parser.add_argument(
+        "--cluster",
+        metavar="NODES[:MEMORY[:SLOTS]]",
+        help="enable the placement-feasibility pass against this cluster "
+        "spec (per-node memory and task slots; defaults 8000 and 64)",
+    )
+    parser.add_argument(
+        "--codes",
+        action="store_true",
+        help="list every diagnostic code and exit",
+    )
+    return parser
+
+
+def _parse_cluster(spec: str) -> ClusterSpec:
+    parts = spec.split(":")
+    if not 1 <= len(parts) <= 3:
+        raise ValueError(f"bad cluster spec {spec!r}")
+    try:
+        numbers = [int(p) for p in parts]
+    except ValueError:
+        raise ValueError(f"bad cluster spec {spec!r}") from None
+    defaults = ClusterSpec()
+    return ClusterSpec(
+        nodes=numbers[0],
+        memory_per_node=numbers[1] if len(numbers) > 1 else defaults.memory_per_node,
+        slots_per_node=numbers[2] if len(numbers) > 2 else defaults.slots_per_node,
+    )
+
+
+def _parse_failure(path: str, exc: Exception) -> Diagnostic:
+    return Diagnostic(
+        "CN000",
+        Severity.ERROR,
+        f"cannot analyze: {exc}",
+        SourceLocation("file", path),
+        pass_name="driver",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.codes:
+        for code, description in sorted(CODES.items()):
+            print(f"{code}  {description}")
+        return 0
+    if not args.files:
+        parser.error("no input files (pass .xmi/.cnx documents to analyze)")
+
+    context = AnalysisContext()
+    if args.cluster:
+        try:
+            context.cluster = _parse_cluster(args.cluster)
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    status = 0
+    json_out: dict[str, list[dict]] = {}
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            _report_failure(args, json_out, path, exc)
+            status = 2
+            continue
+        try:
+            report = analyze_source(text, context)
+        except ValueError as exc:
+            _report_failure(args, json_out, path, exc)
+            status = 2
+            continue
+        if args.json:
+            json_out[path] = report.to_json()
+        else:
+            print(report.render(title=path, with_hints=not args.no_hints))
+        if report.errors() or (args.werror and report.warnings()):
+            status = max(status, 1)
+    if args.json:
+        print(json.dumps(json_out, indent=2))
+    return status
+
+
+def _report_failure(args, json_out, path: str, exc: Exception) -> None:
+    diagnostic = _parse_failure(path, exc)
+    if args.json:
+        json_out[path] = [diagnostic.to_dict()]
+    else:
+        print(f"{path}: unanalyzable\n  {diagnostic.render()}", file=sys.stderr)

@@ -22,8 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Sequence
 
+from ..analysis import AnalysisContext, ClusterSpec, Diagnostic, analyze_cnx
 from ..core.cnx.schema import CnxDocument, CnxJob, CnxTask
-from ..core.cnx.validate import validate as validate_cnx
+from ..core.cnx.validate import CnxValidationError
 from .api import CNAPI, JobHandle
 from .cluster import Cluster
 from .errors import JobError
@@ -165,6 +166,8 @@ class ClientResult:
     client_class: str
     job_results: list[dict[str, Any]] = field(default_factory=list)
     messages: list[Message] = field(default_factory=list)
+    #: warning-severity analyzer findings (errors refuse the run)
+    warnings: list[Diagnostic] = field(default_factory=list)
 
     @property
     def results(self) -> dict[str, Any]:
@@ -177,6 +180,32 @@ class ClientRunner:
 
     def __init__(self, cluster: Cluster) -> None:
         self.api = CNAPI.initialize(cluster)
+
+    def analyze(self, doc: CnxDocument):
+        """Static-analysis report for *doc* against this runner's cluster.
+
+        The context enables the placement-feasibility pass (cluster
+        shape from the actual TaskManagers) and the archive pass (jar /
+        class references resolved through the cluster's task registry).
+        """
+        cluster = self.api.cluster
+        managers = [s.taskmanager for s in cluster.servers]
+        spec = ClusterSpec(
+            nodes=len(managers),
+            memory_per_node=min(tm.memory_capacity for tm in managers),
+            slots_per_node=min(tm.slots for tm in managers),
+        )
+
+        def resolves(jar: str, cls: str) -> bool:
+            try:
+                cluster.registry.resolve(jar, cls)
+            except Exception:
+                return False
+            return True
+
+        return analyze_cnx(
+            doc, AnalysisContext(cluster=spec, task_resolver=resolves)
+        )
 
     def run(
         self,
@@ -193,10 +222,21 @@ class ClientRunner:
         the client-level partial order of paper section 4 applies: jobs
         are grouped into batches, jobs within a batch run concurrently,
         and batches run in order.  Results are returned in document
-        order either way."""
-        validate_cnx(doc)
+        order either way.
+
+        Before anything reaches the cluster the full static analyzer
+        runs over the descriptor (including placement feasibility
+        against this runner's cluster): error-severity findings raise
+        :class:`~repro.core.cnx.validate.CnxValidationError` with the
+        structured diagnostics attached, warnings are collected on the
+        returned :class:`ClientResult`."""
+        report = self.analyze(doc)
+        if not report.ok:
+            raise CnxValidationError(report.legacy_problems(), report.errors())
         runtime_args = dict(runtime_args or {})
-        outcome = ClientResult(client_class=doc.client.cls)
+        outcome = ClientResult(
+            client_class=doc.client.cls, warnings=report.warnings()
+        )
         jobs = doc.client.jobs
         results_by_index: dict[int, dict[str, Any]] = {}
         for batch in _job_batches(jobs):

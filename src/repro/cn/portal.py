@@ -40,13 +40,17 @@ class Submission:
     """One accepted XMI submission and everything produced from it."""
 
     submission_id: int
-    status: str = "pending"  # pending | done | failed
+    status: str = "pending"  # pending | rejected | done | failed
     xmi_text: str = ""
     cnx_text: str = ""
     python_source: str = ""
     java_source: str = ""
     results: list[dict[str, Any]] = field(default_factory=list)
     error: str = ""
+    #: static-analysis findings (dicts, see Diagnostic.to_dict); a
+    #: submission with error-severity findings is rejected before the
+    #: pipeline runs, warnings ride along on accepted submissions
+    diagnostics: list[dict[str, Any]] = field(default_factory=list)
 
     def artifacts(self) -> dict[str, str]:
         return {
@@ -54,6 +58,7 @@ class Submission:
             "cnx": self.cnx_text,
             "client.py": self.python_source,
             "client.java": self.java_source,
+            "diagnostics": json.dumps(self.diagnostics, indent=2),
         }
 
     def summary(self) -> dict[str, Any]:
@@ -62,6 +67,7 @@ class Submission:
             "status": self.status,
             "jobs": len(self.results),
             "error": self.error.splitlines()[-1] if self.error else "",
+            "diagnostics": len(self.diagnostics),
         }
 
 
@@ -100,6 +106,14 @@ class Portal:
             from repro.core.xmi.reader import read_model
 
             model = read_model(xmi_text)
+            report = self._analyze(model)
+            submission.diagnostics = report.to_json()
+            if not report.ok:
+                submission.status = "rejected"
+                # one line: the full findings travel as structured
+                # diagnostics (payload + downloadable artifact)
+                submission.error = f"static analysis: {report.summary()}"
+                return submission
             outcome = self.pipeline.run(
                 model,
                 self.cluster,
@@ -115,6 +129,30 @@ class Portal:
             submission.status = "failed"
             submission.error = traceback.format_exc()
         return submission
+
+    def _analyze(self, model):
+        """Run the static analyzer over the model before the pipeline,
+        with placement and archive-resolution context from the portal's
+        own cluster."""
+        from repro.analysis import AnalysisContext, ClusterSpec, analyze_model
+
+        managers = [s.taskmanager for s in self.cluster.servers]
+        spec = ClusterSpec(
+            nodes=len(managers),
+            memory_per_node=min(tm.memory_capacity for tm in managers),
+            slots_per_node=min(tm.slots for tm in managers),
+        )
+
+        def resolves(jar: str, cls: str) -> bool:
+            try:
+                self.cluster.registry.resolve(jar, cls)
+            except Exception:
+                return False
+            return True
+
+        return analyze_model(
+            model, AnalysisContext(cluster=spec, task_resolver=resolves)
+        )
 
     def get(self, submission_id: int) -> Submission:
         with self._lock:
@@ -193,9 +231,14 @@ class _Handler(BaseHTTPRequestHandler):
         if args_header:
             runtime_args = json.loads(args_header)
         submission = self.portal.submit(body, runtime_args)
+        codes = {"done": 200, "rejected": 422}
         self._json(
-            200 if submission.status == "done" else 500,
-            {**submission.summary(), "results": submission.results},
+            codes.get(submission.status, 500),
+            {
+                **submission.summary(),
+                "results": submission.results,
+                "findings": submission.diagnostics,
+            },
         )
 
 

@@ -62,6 +62,12 @@ def _emit_task(parent: ET.Element, task: CnxTask) -> None:
             attrs["multiplicity"] = task.multiplicity
         if task.arguments:
             attrs["arguments"] = task.arguments
+    # message-flow extension attributes; omitted when empty so Fig. 2
+    # output stays byte-compatible with the paper
+    if task.sends:
+        attrs["sends"] = ",".join(task.sends)
+    if task.receives:
+        attrs["receives"] = ",".join(task.receives)
     task_elem = ET.SubElement(parent, "task", attrs)
     req = ET.SubElement(task_elem, "task-req")
     memory = ET.SubElement(req, "memory")

@@ -84,16 +84,20 @@ def _parse_task(task_elem: ET.Element) -> CnxTask:
         raise CnxParseError(f"task {name!r} missing jar attribute")
     if not cls:
         raise CnxParseError(f"task {name!r} missing class attribute")
-    depends_text = task_elem.get("depends", "")
-    depends = [d.strip() for d in depends_text.split(",") if d.strip()]
+    def name_list(attr: str) -> list[str]:
+        text = task_elem.get(attr, "")
+        return [part.strip() for part in text.split(",") if part.strip()]
+
     task = CnxTask(
         name=name,
         jar=jar,
         cls=cls,
-        depends=depends,
+        depends=name_list("depends"),
         dynamic=task_elem.get("dynamic", "false") == "true",
         multiplicity=task_elem.get("multiplicity", ""),
         arguments=task_elem.get("arguments", ""),
+        sends=name_list("sends"),
+        receives=name_list("receives"),
     )
     req_elems = task_elem.findall("task-req")
     if len(req_elems) > 1:

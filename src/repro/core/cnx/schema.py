@@ -85,6 +85,12 @@ class CnxTask:
     dynamic: bool = False
     multiplicity: str = ""
     arguments: str = ""
+    # message-flow extension: declared send/receive endpoints (comma
+    # lists of task names, or "*").  Purely declarative -- the static
+    # analyzer pairs them across tasks to prove the protocol free of
+    # unmatched or cyclic waits before the job is placed.
+    sends: list[str] = field(default_factory=list)
+    receives: list[str] = field(default_factory=list)
 
     def param_values(self) -> list:
         return [p.python_value() for p in self.params]

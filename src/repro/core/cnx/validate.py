@@ -1,135 +1,64 @@
 """Semantic validation of CNX documents.
 
-The parser guarantees well-formedness; this module checks the properties
-the CN runtime depends on:
+.. deprecated:: compatibility shim
+    The checks that used to live here moved into the pluggable static
+    analyzer, :mod:`repro.analysis` -- one diagnostics engine shared by
+    this module, the ``python -m repro.analysis`` CLI, the client
+    runner, and the portal.  :func:`collect_problems` and
+    :func:`validate` remain as thin wrappers (error-severity findings,
+    rendered in the historical message format) so existing callers keep
+    working; new code should call :func:`repro.analysis.analyze_cnx`
+    directly and get structured :class:`~repro.analysis.Diagnostic`
+    records with stable ``CNxxx`` codes, source locations and fix hints.
 
-* task names unique within a job,
-* every ``depends`` entry names a task in the same job,
-* the dependency relation is acyclic (a CN job is a DAG),
-* memory requirements positive, runmodels known,
-* dynamic tasks carry a multiplicity (and anything with a multiplicity
-  or argument expression is marked dynamic).
-
-The validator reports *all* problems, and :func:`validate` raises a
-single :class:`CnxValidationError` carrying the list -- mirroring the
-activity-graph validator so both ends of the transform give symmetric
-diagnostics.
+The parser guarantees well-formedness; the analyzer checks the
+properties the CN runtime depends on: unique task names, resolvable and
+acyclic ``depends`` relations, positive memory, known runmodels,
+well-typed parameters, dynamic-invocation multiplicities, message-flow
+deadlock freedom, and the client-level job partial order.
 """
 
 from __future__ import annotations
 
-from ..uml.tags import CNProfile
-from .schema import CnxDocument, CnxJob
+from .schema import CnxDocument
 
 __all__ = ["CnxValidationError", "validate", "collect_problems"]
 
 
 class CnxValidationError(ValueError):
-    def __init__(self, problems: list[str]) -> None:
+    """Raised by :func:`validate`; ``problems`` holds the message list.
+
+    ``diagnostics`` (when validation ran through the analyzer) holds the
+    structured :class:`~repro.analysis.Diagnostic` records behind those
+    messages."""
+
+    def __init__(self, problems: list[str], diagnostics=None) -> None:
         self.problems = problems
+        self.diagnostics = list(diagnostics) if diagnostics is not None else []
         joined = "\n  - ".join(problems)
         super().__init__(f"CNX document is not valid:\n  - {joined}")
 
 
 def collect_problems(doc: CnxDocument) -> list[str]:
-    problems: list[str] = []
-    if not doc.client.cls:
-        problems.append("client has empty class name")
-    if not (0 < doc.client.port < 65536):
-        problems.append(f"client port {doc.client.port} out of range")
-    for index, job in enumerate(doc.client.jobs):
-        label = job.name or f"job[{index}]"
-        problems.extend(_job_problems(label, job))
-    problems.extend(_job_order_problems(doc))
-    return problems
+    """Error-severity analyzer findings as plain message strings.
 
+    Deprecated thin wrapper over :func:`repro.analysis.analyze_cnx`
+    (kept for backward compatibility; messages preserve the historical
+    phrasing)."""
+    from repro.analysis import analyze_cnx
 
-def _job_order_problems(doc: CnxDocument) -> list[str]:
-    """The client-level partial order must reference named jobs and be
-    acyclic (paper section 4)."""
-    problems: list[str] = []
-    names = [j.name for j in doc.client.jobs if j.name]
-    duplicates = {n for n in names if names.count(n) > 1}
-    for dup in sorted(duplicates):
-        problems.append(f"duplicate job name {dup!r}")
-    known = set(names)
-    for job in doc.client.jobs:
-        for prerequisite in job.after:
-            if prerequisite not in known:
-                problems.append(
-                    f"job {job.name or '<unnamed>'} is after unknown job "
-                    f"{prerequisite!r}"
-                )
-            if job.name and prerequisite == job.name:
-                problems.append(f"job {job.name!r} is after itself")
-        if job.after and not job.name:
-            problems.append("a job with 'after' ordering must be named")
-    if not problems and any(j.after for j in doc.client.jobs):
-        # cycle check via iterative peeling
-        remaining = {j.name: set(j.after) for j in doc.client.jobs if j.name}
-        while remaining:
-            ready = [n for n, deps in remaining.items() if not deps]
-            if not ready:
-                problems.append(
-                    f"cyclic job ordering among {sorted(remaining)}"
-                )
-                break
-            for name in ready:
-                del remaining[name]
-            for deps in remaining.values():
-                deps.difference_update(ready)
-    return problems
-
-
-def _job_problems(label: str, job: CnxJob) -> list[str]:
-    problems: list[str] = []
-    names = job.task_names()
-    seen: set[str] = set()
-    for name in names:
-        if name in seen:
-            problems.append(f"{label}: duplicate task name {name!r}")
-        seen.add(name)
-    for task in job.tasks:
-        for dep in task.depends:
-            if dep not in seen:
-                problems.append(
-                    f"{label}: task {task.name!r} depends on unknown task {dep!r}"
-                )
-            if dep == task.name:
-                problems.append(f"{label}: task {task.name!r} depends on itself")
-        if task.task_req.memory <= 0:
-            problems.append(
-                f"{label}: task {task.name!r} has non-positive memory "
-                f"{task.task_req.memory}"
-            )
-        if task.task_req.retries < 0:
-            problems.append(
-                f"{label}: task {task.name!r} has negative retries "
-                f"{task.task_req.retries}"
-            )
-        if task.task_req.runmodel not in CNProfile.KNOWN_RUNMODELS:
-            problems.append(
-                f"{label}: task {task.name!r} has unknown runmodel "
-                f"{task.task_req.runmodel!r}"
-            )
-        if task.dynamic and not task.multiplicity:
-            problems.append(f"{label}: dynamic task {task.name!r} lacks multiplicity")
-        if not task.dynamic and (task.multiplicity or task.arguments):
-            problems.append(
-                f"{label}: task {task.name!r} has dynamic attributes but is not "
-                "marked dynamic"
-            )
-    # Cycle check only makes sense once all deps resolve.
-    if not problems:
-        try:
-            job.topological()
-        except ValueError as exc:
-            problems.append(f"{label}: {exc}")
-    return problems
+    return analyze_cnx(doc).legacy_problems()
 
 
 def validate(doc: CnxDocument) -> CnxDocument:
-    problems = collect_problems(doc)
-    if problems:
-        raise CnxValidationError(problems)
+    """Raise :class:`CnxValidationError` on error-severity findings.
+
+    Deprecated thin wrapper over :func:`repro.analysis.analyze_cnx`;
+    warnings pass through silently here -- use the analyzer directly to
+    see them."""
+    from repro.analysis import analyze_cnx
+
+    report = analyze_cnx(doc)
+    if not report.ok:
+        raise CnxValidationError(report.legacy_problems(), report.errors())
     return doc

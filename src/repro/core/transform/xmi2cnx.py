@@ -35,7 +35,7 @@ from ..cnx.schema import (
 )
 from ..uml.activity import ActivityGraph
 from ..uml.model import Model
-from ..uml.tags import CNProfile
+from ..uml.tags import CN_TAG_RECEIVES, CN_TAG_SENDS, CNProfile
 from ..xmi.reader import read_model
 
 __all__ = [
@@ -132,6 +132,10 @@ def graph_to_cnx(
     return CnxDocument(client)
 
 
+def _name_list(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
 def _graph_to_job(graph: ActivityGraph) -> CnxJob:
     deps = graph.action_dependencies()
     # paper Fig. 2 shows a bare <job> element: jobs are positional, so the
@@ -157,6 +161,10 @@ def _graph_to_job(graph: ActivityGraph) -> CnxJob:
             dynamic=action.is_dynamic,
             multiplicity=action.dynamic_multiplicity if action.is_dynamic else "",
             arguments=action.dynamic_arguments if action.is_dynamic else "",
+            # message-flow extension tags; the XSLT path predates them and
+            # models carrying them should convert natively
+            sends=_name_list(action.get_tag(CN_TAG_SENDS, "") or ""),
+            receives=_name_list(action.get_tag(CN_TAG_RECEIVES, "") or ""),
         )
         job.tasks.append(task)
     return job

@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence
 
 from .activity import ActionState, ActivityGraph, FinalState, Pseudostate, StateVertex
-from .tags import CNProfile
+from .tags import CN_TAG_RECEIVES, CN_TAG_SENDS, CNProfile
 from .validate import validate_graph
 
 __all__ = ["ActivityBuilder"]
@@ -66,17 +66,29 @@ class ActivityBuilder:
         runmodel: str = "RUN_AS_THREAD_IN_TM",
         params: Iterable[tuple[str, str]] = (),
         retries: int = 0,
+        sends: Iterable[str] = (),
+        receives: Iterable[str] = (),
     ) -> ActionState:
         """An action state with the full CN tagged-value profile.
 
         *retries* (extension) adds a ``retries`` tagged value carried
-        through to the CNX ``<task-req><retries>`` element."""
+        through to the CNX ``<task-req><retries>`` element.  *sends* /
+        *receives* (extension) declare the task's message peers as
+        ``sends``/``receives`` tagged values, carried into the CNX task
+        attributes and checked by the static analyzer's message-flow
+        pass."""
         state = self.graph.add_action(name)
         CNProfile.apply(
             state, jar=jar, cls=cls, memory=memory, runmodel=runmodel, params=params
         )
         if retries:
             state.set_tag("retries", str(retries))
+        sends = list(sends)
+        receives = list(receives)
+        if sends:
+            state.set_tag(CN_TAG_SENDS, ",".join(sends))
+        if receives:
+            state.set_tag(CN_TAG_RECEIVES, ",".join(receives))
         return state
 
     def dynamic_task(

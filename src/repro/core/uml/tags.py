@@ -22,6 +22,8 @@ __all__ = [
     "CN_TAG_CLASS",
     "CN_TAG_MEMORY",
     "CN_TAG_RUNMODEL",
+    "CN_TAG_SENDS",
+    "CN_TAG_RECEIVES",
     "param_tag_names",
 ]
 
@@ -29,6 +31,10 @@ CN_TAG_JAR = "jar"
 CN_TAG_CLASS = "class"
 CN_TAG_MEMORY = "memory"
 CN_TAG_RUNMODEL = "runmodel"
+# message-flow extension: declared send/receive peers (comma lists of
+# task names, or "*"), checked statically by repro.analysis
+CN_TAG_SENDS = "sends"
+CN_TAG_RECEIVES = "receives"
 
 _PTYPE_RE = re.compile(r"^ptype(\d+)$")
 _PVALUE_RE = re.compile(r"^pvalue(\d+)$")

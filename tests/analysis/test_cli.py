@@ -1,0 +1,109 @@
+"""The ``python -m repro.analysis`` command line."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+DATA = Path(__file__).parent.parent / "data"
+DEFECTS = DATA / "defects"
+
+
+class TestExitStatus:
+    def test_clean_file_exits_zero(self, capsys):
+        assert main([str(DATA / "fig2_descriptor.cnx")]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_defective_file_exits_one(self, capsys):
+        assert main([str(DEFECTS / "cycle.cnx")]) == 1
+
+    def test_unparseable_file_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "broken.cnx"
+        bad.write_text("<cn2><client></cn2>")
+        assert main([str(bad)]) == 2
+        assert "CN000" in capsys.readouterr().err
+
+    def test_unrecognized_root_exits_two(self, tmp_path, capsys):
+        other = tmp_path / "other.xml"
+        other.write_text("<not-a-composition/>")
+        assert main([str(other)]) == 2
+        assert "unrecognized document root" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["/no/such/file.cnx"]) == 2
+
+    def test_werror_promotes_warnings(self, tmp_path, capsys):
+        # partial join: w3 bypasses the barrier -> CN401 warning, no errors
+        tasks = "".join(
+            f'<task name="{n}" jar="t.jar" class="pkg.T" depends="{d}"/>'
+            for n, d in [
+                ("split", ""),
+                ("w1", "split"),
+                ("w2", "split"),
+                ("w3", "split"),
+                ("join", "w1,w2"),
+            ]
+        )
+        warn_only = tmp_path / "warn.cnx"
+        warn_only.write_text(
+            f'<cn2><client class="C" log="l" port="5666"><job>{tasks}</job>'
+            "</client></cn2>"
+        )
+        assert main([str(warn_only)]) == 0
+        assert main([str(warn_only), "--werror"]) == 1
+
+
+class TestOutput:
+    def test_report_has_code_severity_location_hint(self, capsys):
+        main([str(DEFECTS / "fig2_erratum.cnx")])
+        out = capsys.readouterr().out
+        assert "CN103" in out
+        assert "error" in out
+        assert "task[@name='tctask1']" in out
+        assert "hint:" in out
+
+    def test_no_hints_flag(self, capsys):
+        main([str(DEFECTS / "fig2_erratum.cnx"), "--no-hints"])
+        assert "hint:" not in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        main([str(DEFECTS / "deadlock.cnx"), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        findings = payload[str(DEFECTS / "deadlock.cnx")]
+        assert any(f["code"] == "CN504" for f in findings)
+        assert all(
+            {"code", "severity", "message", "location", "hint"} <= set(f)
+            for f in findings
+        )
+
+    def test_multiple_files_worst_status_wins(self, capsys):
+        assert (
+            main(
+                [
+                    str(DATA / "fig2_descriptor.cnx"),
+                    str(DEFECTS / "cycle.cnx"),
+                ]
+            )
+            == 1
+        )
+
+    def test_codes_listing(self, capsys):
+        assert main(["--codes"]) == 0
+        out = capsys.readouterr().out
+        for code in ("CN101", "CN104", "CN504", "CN801"):
+            assert code in out
+
+
+class TestClusterOption:
+    def test_cluster_spec_enables_placement(self, capsys):
+        assert main([str(DEFECTS / "oversubscribed.cnx"), "--cluster", "1:1000:2"]) == 1
+        out = capsys.readouterr().out
+        assert "CN601" in out and "CN602" in out and "CN603" in out
+
+    def test_without_cluster_placement_silent(self, capsys):
+        # the same file's only errors are placement-context findings
+        assert main([str(DEFECTS / "oversubscribed.cnx")]) == 0
+
+    def test_big_cluster_accepts(self, capsys):
+        assert main([str(DEFECTS / "oversubscribed.cnx"), "--cluster", "4:8000:64"]) == 0

@@ -60,8 +60,15 @@ class TestPortalService:
     def test_artifacts_downloadable(self, portal):
         submission = portal.submit(pi_xmi())
         artifacts = submission.artifacts()
-        assert set(artifacts) == {"xmi", "cnx", "client.py", "client.java"}
+        assert set(artifacts) == {
+            "xmi",
+            "cnx",
+            "client.py",
+            "client.java",
+            "diagnostics",
+        }
         assert artifacts["xmi"].startswith("<XMI")
+        assert json.loads(artifacts["diagnostics"]) == []
 
 
 class TestPortalHTTP:
