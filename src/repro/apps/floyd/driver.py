@@ -68,15 +68,18 @@ def run_parallel_floyd(
     transform: str = "xslt",
     mode: str = "shortest",
     timeout: float = 120.0,
+    retries: int = 0,
 ) -> tuple[list[list[float]], PipelineResult]:
     """Full pipeline run of the Fig. 3 job on *matrix*.
 
     Returns ``(result_matrix, pipeline_result)``.  The input is staged in
-    the matrix store so no files touch disk."""
+    the matrix store so no files touch disk.  *retries* grants every
+    task that retry budget -- required for runs on a chaos cluster."""
     key = _fresh_store_key("floyd")
     source = store_matrix(key, matrix)
     graph = build_fig3_model(
-        n_workers=n_workers, matrix_source=source, sink="", mode=mode
+        n_workers=n_workers, matrix_source=source, sink="", mode=mode,
+        retries=retries,
     )
     return _execute(graph, cluster, transform, timeout, runtime_args=None,
                     joiner="tctask999")
@@ -90,12 +93,15 @@ def run_parallel_floyd_dynamic(
     transform: str = "xslt",
     mode: str = "shortest",
     timeout: float = 120.0,
+    retries: int = 0,
 ) -> tuple[list[list[float]], PipelineResult]:
     """Full pipeline run of the Fig. 5 (dynamic invocation) job: the
     worker count is bound at run time through ``runtime_args``."""
     key = _fresh_store_key("floyd-dyn")
     source = store_matrix(key, matrix)
-    graph = build_fig5_model(matrix_source=source, sink="", mode=mode)
+    graph = build_fig5_model(
+        matrix_source=source, sink="", mode=mode, retries=retries
+    )
     return _execute(
         graph,
         cluster,

@@ -45,11 +45,14 @@ def build_fig3_model(
     runmodel: str = "RUN_AS_THREAD_IN_TM",
     name: str = "TransClosure",
     mode: str = "shortest",
+    retries: int = 0,
 ) -> ActivityGraph:
     """The Fig. 3 diagram: split -> fork -> N workers -> join -> joiner.
 
     *mode* selects the worker kernel (``shortest`` | ``closure``); the
-    non-default mode travels as a second CNX param on the splitter."""
+    non-default mode travels as a second CNX param on the splitter.
+    *retries* gives every task that retry budget (the ``retries``
+    tagged-value extension), which fault-tolerance runs rely on."""
     split_params = [("String", matrix_source)]
     if mode != "shortest":
         split_params.append(("String", mode))
@@ -61,6 +64,7 @@ def build_fig3_model(
         memory=memory,
         runmodel=runmodel,
         params=split_params,
+        retries=retries,
     )
     workers = [
         b.task(
@@ -70,6 +74,7 @@ def build_fig3_model(
             memory=memory,
             runmodel=runmodel,
             params=[("Integer", str(i))],
+            retries=retries,
         )
         for i in range(1, n_workers + 1)
     ]
@@ -80,6 +85,7 @@ def build_fig3_model(
         memory=memory,
         runmodel=runmodel,
         params=[("String", sink)],
+        retries=retries,
     )
     b.chain(b.initial(), split)
     b.fan_out_in(split, workers, joiner)
@@ -97,11 +103,13 @@ def build_fig5_model(
     argument_expr: str = "[(i,) for i in range(1, n_workers + 1)]",
     name: str = "TransClosure",
     mode: str = "shortest",
+    retries: int = 0,
 ) -> ActivityGraph:
     """The Fig. 5 diagram: the worker as a dynamic invocation.
 
     *argument_expr* yields one argument list per concurrent invocation at
-    run time (``n_workers`` is supplied through ``runtime_args``)."""
+    run time (``n_workers`` is supplied through ``runtime_args``);
+    *retries* as in :func:`build_fig3_model`."""
     split_params = [("String", matrix_source)]
     if mode != "shortest":
         split_params.append(("String", mode))
@@ -113,6 +121,7 @@ def build_fig5_model(
         memory=memory,
         runmodel=runmodel,
         params=split_params,
+        retries=retries,
     )
     worker = b.dynamic_task(
         "tctask",
@@ -122,6 +131,7 @@ def build_fig5_model(
         runmodel=runmodel,
         multiplicity=multiplicity,
         argument_expr=argument_expr,
+        retries=retries,
     )
     joiner = b.task(
         "taskjoin",
@@ -130,6 +140,7 @@ def build_fig5_model(
         memory=memory,
         runmodel=runmodel,
         params=[("String", sink)],
+        retries=retries,
     )
     b.chain(b.initial(), split, worker, joiner, b.final())
     return b.build()

@@ -172,12 +172,18 @@ class TCJoin(Task):
         workers = sorted(ctx.my_dependencies())
         pieces: dict[int, np.ndarray] = {}
         expected = len(workers)
-        received = 0
-        while received < expected:
+        # one result per worker, keyed by sender: crash recovery replays
+        # message history (at-least-once delivery), so a worker whose
+        # block already arrived may report again -- count each once
+        seen: set[str] = set()
+        while len(seen) < expected:
             message = ctx.recv_matching(
-                lambda m: m.is_user() and m.payload[0] == "result", timeout=60.0
+                lambda m: m.is_user()
+                and m.payload[0] == "result"
+                and m.sender not in seen,
+                timeout=60.0,
             )
-            received += 1
+            seen.add(message.sender)
             _, start, block = message.payload
             block = np.array(block, dtype=float)
             if block.size:

@@ -5,12 +5,20 @@ spaces, and the client-side CN API facade."""
 
 from .api import CNAPI, JobHandle
 from .archive import TaskArchive, create_archive, load_archive
+from .chaos import (
+    ChaosPolicy,
+    ExponentialBackoff,
+    FaultRecord,
+    InjectedFault,
+    VirtualClock,
+)
 from .client import ClientResult, ClientRunner, evaluate_arguments, expand_dynamic_tasks
 from .cluster import Cluster
 from .errors import (
     ArchiveError,
     CnError,
     JobError,
+    JobTimeoutError,
     MessageTimeout,
     NoWillingJobManager,
     NoWillingTaskManager,
@@ -20,7 +28,7 @@ from .errors import (
     UnknownTaskError,
 )
 from .job import Job, TaskRuntime, TaskSpec, TaskState
-from .jobmanager import JobManager
+from .jobmanager import FailureDetector, JobManager
 from .messages import Message, MessageType, expected_response, is_well_defined
 from .multicast import MulticastBus, Solicitation
 from .queues import MessageQueue
@@ -75,8 +83,15 @@ __all__ = [
     "NoWillingJobManager",
     "NoWillingTaskManager",
     "JobError",
+    "JobTimeoutError",
     "TaskFailedError",
     "UnknownTaskError",
     "MessageTimeout",
     "ShutdownError",
+    "ChaosPolicy",
+    "ExponentialBackoff",
+    "FaultRecord",
+    "InjectedFault",
+    "VirtualClock",
+    "FailureDetector",
 ]

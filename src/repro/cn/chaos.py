@@ -1,0 +1,334 @@
+"""Deterministic fault injection for the CN runtime.
+
+The paper targets commodity Ethernet clusters where "the appealing
+aspects of cluster computing" come with routine node and task failures;
+the runtime's recovery paths are only trustworthy if failures can be
+*provoked on demand*.  This module provides that chaos layer:
+
+* :class:`VirtualClock` -- an injected logical clock.  Heartbeats,
+  failure detection and deadlines are all measured in virtual seconds
+  advanced by :meth:`Cluster.tick`, so tests never depend on wall time.
+* :class:`ChaosPolicy` -- a seeded fault injector.  Faults come in two
+  flavours: **scripted** one-shots (crash *this* task on *this* attempt,
+  crash *this* node after its Nth task start or at tick T, stall a task)
+  and **rate-based** faults whose decisions are derived from
+  ``hash(seed, site, stable-key)`` rather than from a shared RNG stream,
+  so the injected fault set is identical across reruns regardless of
+  thread interleaving.  Every injected fault is appended to a structured
+  log (:class:`FaultRecord`).
+* :class:`ExponentialBackoff` -- the retry pacing policy (exponential
+  with deterministic, seed-derived jitter) used by the JobManager
+  between retry attempts.
+
+Fault sites instrumented elsewhere in the package:
+
+============  =====================================  ==================
+site          hook                                   injected by
+============  =====================================  ==================
+task start    ``should_crash_task`` / ``should_stall``  TaskManager
+node          ``node_crash_due`` / ``nodes_to_crash``   TaskManager / Cluster.tick
+task queue    ``queue_fate`` (drop / delay)             MessageQueue.put
+multicast     ``bus_drop``                              MulticastBus
+============  =====================================  ==================
+
+A :class:`ChaosPolicy` with no rates and no scripted faults reports
+``enabled == False`` and every instrumented fast path short-circuits on
+that flag, keeping the no-fault overhead negligible (measured by
+``benchmarks/test_perf_chaos.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "VirtualClock",
+    "FaultRecord",
+    "InjectedFault",
+    "ChaosPolicy",
+    "ExponentialBackoff",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Raised inside a task to simulate a crash; deliberately *not* a
+    :class:`~repro.cn.errors.CnError` so it travels the same
+    failure/retry path as any user exception."""
+
+
+class VirtualClock:
+    """A monotonic logical clock advanced explicitly (never by wall time)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, dt: float = 1.0) -> float:
+        if dt < 0:
+            raise ValueError("the clock only moves forward")
+        with self._lock:
+            self._now += dt
+            return self._now
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault: what kind, where, and against which target."""
+
+    seq: int
+    kind: str  # task-crash | stall | node-crash | queue-drop | queue-delay | bus-drop
+    site: str  # task | node | queue:<owner> | bus
+    target: str
+    detail: dict = field(default_factory=dict)
+
+    def key(self) -> tuple[str, str, str]:
+        """Thread-schedule-independent identity used to compare runs."""
+        return (self.kind, self.site, self.target)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "site": self.site,
+            "target": self.target,
+            "detail": dict(self.detail),
+        }
+
+
+@dataclass(frozen=True)
+class ExponentialBackoff:
+    """Exponential retry backoff with deterministic, seed-derived jitter.
+
+    ``delay(attempt)`` for attempt 1, 2, 3... is ``base * factor**(a-1)``
+    capped at ``cap``, multiplied by a jitter factor in
+    ``[1 - jitter, 1 + jitter]`` drawn from an RNG seeded by
+    ``(seed, key, attempt)`` -- the same attempt of the same task always
+    waits the same amount, but distinct tasks desynchronize (no retry
+    thundering herd) and reruns are reproducible.
+    """
+
+    base: float = 0.005
+    factor: float = 2.0
+    cap: float = 0.25
+    jitter: float = 0.1
+    seed: int = 0
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        raw = min(self.cap, self.base * self.factor ** max(0, attempt - 1))
+        if self.jitter and raw > 0:
+            u = random.Random(f"{self.seed}:{key}:{attempt}").random()
+            raw *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        return max(0.0, raw)
+
+    def schedule(self, attempts: int, key: str = "") -> list[float]:
+        """The delays the first *attempts* retries would wait."""
+        return [self.delay(a, key) for a in range(1, attempts + 1)]
+
+
+class ChaosPolicy:
+    """Seeded, deterministic fault injection across the CN fault sites.
+
+    Rate-based decisions are *keyed*: each decision derives its own RNG
+    from ``(seed, kind, stable key)`` -- e.g. ``(queue owner, delivery
+    index)`` or ``(task, attempt)`` -- so the set of injected faults does
+    not depend on thread scheduling.  Scripted faults fire exactly once
+    for their target.  All hooks are cheap no-ops while ``enabled`` is
+    false, which is the case for a policy with zero rates and no scripts.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        task_crash_rate: float = 0.0,
+        stall_rate: float = 0.0,
+        node_crash_rate: float = 0.0,
+        queue_drop_rate: float = 0.0,
+        queue_delay_rate: float = 0.0,
+        bus_drop_rate: float = 0.0,
+    ) -> None:
+        self.seed = seed
+        self.task_crash_rate = task_crash_rate
+        self.stall_rate = stall_rate
+        self.node_crash_rate = node_crash_rate
+        self.queue_drop_rate = queue_drop_rate
+        self.queue_delay_rate = queue_delay_rate
+        self.bus_drop_rate = bus_drop_rate
+        self.log: list[FaultRecord] = []
+        self._log_lock = threading.Lock()
+        self._seq = itertools.count(1)
+        # scripted one-shots, consumed on first match
+        self._task_crashes: set[tuple[str, int]] = set()
+        self._task_stalls: set[tuple[str, int]] = set()
+        self._node_crashes_after_starts: dict[str, int] = {}
+        self._node_crashes_at_tick: dict[str, int] = {}
+        self._script_lock = threading.Lock()
+
+    # -- scripting -----------------------------------------------------------
+    def crash_task(self, name: str, attempt: int = 1) -> "ChaosPolicy":
+        """Crash task *name* when it starts the given *attempt* (1-based)."""
+        with self._script_lock:
+            self._task_crashes.add((name, attempt))
+        return self
+
+    def stall_task(self, name: str, attempt: int = 1) -> "ChaosPolicy":
+        """Hang task *name* on the given attempt until it is cancelled
+        (by the deadline watchdog, a node crash, or job cancellation)."""
+        with self._script_lock:
+            self._task_stalls.add((name, attempt))
+        return self
+
+    def crash_node(
+        self,
+        node: str,
+        *,
+        after_starts: Optional[int] = None,
+        at_tick: Optional[int] = None,
+    ) -> "ChaosPolicy":
+        """Crash *node* after it has started its Nth task, or at tick T."""
+        if (after_starts is None) == (at_tick is None):
+            raise ValueError("specify exactly one of after_starts / at_tick")
+        node = node.split("/")[0]
+        with self._script_lock:
+            if after_starts is not None:
+                self._node_crashes_after_starts[node] = after_starts
+            else:
+                self._node_crashes_at_tick[node] = at_tick  # type: ignore[assignment]
+        return self
+
+    # -- the enabled fast path -------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault could ever fire; instrumented sites
+        short-circuit on this to keep the disabled overhead near zero."""
+        if (
+            self.task_crash_rate
+            or self.stall_rate
+            or self.node_crash_rate
+            or self.queue_drop_rate
+            or self.queue_delay_rate
+            or self.bus_drop_rate
+        ):
+            return True
+        with self._script_lock:
+            return bool(
+                self._task_crashes
+                or self._task_stalls
+                or self._node_crashes_after_starts
+                or self._node_crashes_at_tick
+            )
+
+    # -- decision hooks (called from instrumented components) ---------------------
+    def should_crash_task(self, job_id: str, task: str, attempt: int) -> bool:
+        with self._script_lock:
+            scripted = (task, attempt) in self._task_crashes
+            if scripted:
+                self._task_crashes.discard((task, attempt))
+        if scripted:
+            self._record("task-crash", "task", task, attempt=attempt, scripted=True)
+            return True
+        if self._decide("task-crash", f"{task}:{attempt}", self.task_crash_rate):
+            self._record("task-crash", "task", task, attempt=attempt, job=job_id)
+            return True
+        return False
+
+    def should_stall(self, job_id: str, task: str, attempt: int) -> bool:
+        with self._script_lock:
+            scripted = (task, attempt) in self._task_stalls
+            if scripted:
+                self._task_stalls.discard((task, attempt))
+        if scripted:
+            self._record("stall", "task", task, attempt=attempt, scripted=True)
+            return True
+        if self._decide("stall", f"{task}:{attempt}", self.stall_rate):
+            self._record("stall", "task", task, attempt=attempt, job=job_id)
+            return True
+        return False
+
+    def node_crash_due(self, node: str, starts: int) -> bool:
+        """Checked by a TaskManager each time it starts a task."""
+        node = node.split("/")[0]
+        with self._script_lock:
+            threshold = self._node_crashes_after_starts.get(node)
+            scripted = threshold is not None and starts >= threshold
+            if scripted:
+                del self._node_crashes_after_starts[node]
+        if scripted:
+            self._record("node-crash", "node", node, after_starts=starts, scripted=True)
+            return True
+        if self._decide("node-crash", f"{node}:{starts}", self.node_crash_rate):
+            self._record("node-crash", "node", node, after_starts=starts)
+            return True
+        return False
+
+    def nodes_to_crash(self, tick: int) -> list[str]:
+        """Scripted at-tick node crashes due at *tick* (consumed)."""
+        with self._script_lock:
+            due = sorted(
+                node
+                for node, when in self._node_crashes_at_tick.items()
+                if tick >= when
+            )
+            for node in due:
+                del self._node_crashes_at_tick[node]
+        for node in due:
+            self._record("node-crash", "node", node, at_tick=tick, scripted=True)
+        return due
+
+    def queue_fate(self, owner: str, index: int) -> str:
+        """``deliver`` | ``drop`` | ``delay`` for the *index*-th message
+        put on the queue *owner* (per-queue counter = stable key)."""
+        key = f"{owner}:{index}"
+        if self._decide("queue-drop", key, self.queue_drop_rate):
+            self._record("queue-drop", f"queue:{owner}", owner, index=index)
+            return "drop"
+        if self._decide("queue-delay", key, self.queue_delay_rate):
+            self._record("queue-delay", f"queue:{owner}", owner, index=index)
+            return "delay"
+        return "deliver"
+
+    def bus_drop(self, sender: str, subscriber: str, index: int) -> bool:
+        """Whether to drop the *index*-th bus delivery to *subscriber*."""
+        if self._decide("bus-drop", f"{sender}:{subscriber}:{index}", self.bus_drop_rate):
+            self._record("bus-drop", "bus", subscriber, sender=sender, index=index)
+            return True
+        return False
+
+    # -- the log ---------------------------------------------------------------
+    def fault_summary(self) -> list[tuple[str, str, str]]:
+        """Sorted ``(kind, site, target)`` triples -- the identity of the
+        injected fault set, independent of thread scheduling."""
+        with self._log_lock:
+            return sorted(record.key() for record in self.log)
+
+    def log_dicts(self) -> list[dict[str, Any]]:
+        with self._log_lock:
+            return [record.to_dict() for record in self.log]
+
+    def clear_log(self) -> None:
+        with self._log_lock:
+            self.log.clear()
+
+    # -- internals --------------------------------------------------------------
+    def _decide(self, kind: str, key: str, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return random.Random(f"{self.seed}:{kind}:{key}").random() < rate
+
+    def _record(self, kind: str, site: str, target: str, **detail: Any) -> None:
+        record = FaultRecord(next(self._seq), kind, site, target, detail)
+        with self._log_lock:
+            self.log.append(record)
+
+    def __repr__(self) -> str:
+        return f"<ChaosPolicy seed={self.seed} faults={len(self.log)}>"

@@ -29,7 +29,7 @@ from .api import CNAPI, JobHandle
 from .cluster import Cluster
 from .errors import JobError
 from .job import TaskSpec
-from .messages import Message
+from .messages import Message, MessageType
 
 __all__ = ["ClientRunner", "ClientResult", "expand_dynamic_tasks", "evaluate_arguments"]
 
@@ -68,9 +68,60 @@ def evaluate_arguments(expression: str, env: Mapping[str, Any]) -> list[tuple]:
 
 
 def expand_dynamic_tasks(
-    job: CnxJob, runtime_args: Mapping[str, Any]
+    job: CnxJob,
+    runtime_args: Mapping[str, Any],
+    *,
+    memory_budget: Optional[int] = None,
+    degradations: Optional[list] = None,
 ) -> list[TaskSpec]:
-    """Concrete task specs for *job*, with dynamic tasks instantiated."""
+    """Concrete task specs for *job*, with dynamic tasks instantiated.
+
+    Graceful degradation: when *memory_budget* is given (aggregate free
+    memory across live nodes) and the fully-expanded job would not fit,
+    dynamic tasks shed instances -- largest first, deterministically,
+    never below the declared multiplicity lower bound or 1 -- until the
+    job fits (or nothing more can shrink).  Each shrink is appended to
+    *degradations* so the caller can surface JOB_DEGRADED events."""
+    # name -> requested argument lists, for dynamic tasks
+    requested: dict[str, list[tuple]] = {}
+    for task in job.tasks:
+        if task.dynamic:
+            requested[task.name] = evaluate_arguments(
+                task.arguments or "[]", runtime_args
+            )
+    granted = {name: len(args) for name, args in requested.items()}
+    if memory_budget is not None and requested:
+        memory_of = {t.name: t.task_req.memory for t in job.tasks}
+        floor = {
+            t.name: max(1, _multiplicity_low(t)) for t in job.tasks if t.dynamic
+        }
+        static_memory = sum(
+            memory_of[t.name] for t in job.tasks if not t.dynamic
+        )
+
+        def total() -> int:
+            return static_memory + sum(
+                granted[name] * memory_of[name] for name in granted
+            )
+
+        while total() > memory_budget:
+            shrinkable = sorted(
+                (name for name in granted if granted[name] > floor[name]),
+                key=lambda name: (-granted[name], name),
+            )
+            if not shrinkable:
+                break  # even the floor does not fit; placement will say so
+            granted[shrinkable[0]] -= 1
+        for name in sorted(granted):
+            if granted[name] < len(requested[name]) and degradations is not None:
+                degradations.append(
+                    {
+                        "task": name,
+                        "requested": len(requested[name]),
+                        "granted": granted[name],
+                        "memory_budget": memory_budget,
+                    }
+                )
     specs: list[TaskSpec] = []
     # name -> instance names, for dependency rewiring
     expansion: dict[str, list[str]] = {}
@@ -78,9 +129,9 @@ def expand_dynamic_tasks(
         if not task.dynamic:
             expansion[task.name] = [task.name]
             continue
-        arglists = evaluate_arguments(task.arguments or "[]", runtime_args)
-        _check_multiplicity(task, len(arglists))
-        expansion[task.name] = [f"{task.name}{k}" for k in range(1, len(arglists) + 1)]
+        count = granted[task.name]
+        _check_multiplicity(task, count)
+        expansion[task.name] = [f"{task.name}{k}" for k in range(1, count + 1)]
     for task in job.tasks:
         base = TaskSpec.from_cnx(task)
         depends = tuple(
@@ -100,7 +151,7 @@ def expand_dynamic_tasks(
                 )
             )
             continue
-        arglists = evaluate_arguments(task.arguments or "[]", runtime_args)
+        arglists = requested[task.name][: granted[task.name]]
         for k, args in enumerate(arglists, start=1):
             specs.append(
                 TaskSpec(
@@ -141,6 +192,16 @@ def _job_batches(jobs) -> list[list[tuple[int, Any]]]:
     return batches
 
 
+def _multiplicity_low(task: CnxTask) -> int:
+    """The declared lower bound of a task's multiplicity (0 when open)."""
+    spec = task.multiplicity.strip()
+    if not spec or spec in ("*", "0..*"):
+        return 0
+    if ".." in spec:
+        return int(spec.partition("..")[0])
+    return int(spec)
+
+
 def _check_multiplicity(task: CnxTask, count: int) -> None:
     """Enforce the declared multiplicity range (``0..*``, ``1..*``, ``n``)."""
     spec = task.multiplicity.strip()
@@ -176,10 +237,17 @@ class ClientResult:
 
 
 class ClientRunner:
-    """Executes CNX documents against a cluster through the CN API."""
+    """Executes CNX documents against a cluster through the CN API.
 
-    def __init__(self, cluster: Cluster) -> None:
+    With ``degrade=True`` (the default) dynamic jobs shrink their worker
+    multiplicity to fit the aggregate free memory of the *live* nodes at
+    submission time -- on a cluster that lost nodes the job still runs,
+    just narrower, and a JOB_DEGRADED notification records each shrink.
+    """
+
+    def __init__(self, cluster: Cluster, *, degrade: bool = True) -> None:
         self.api = CNAPI.initialize(cluster)
+        self.degrade = degrade
 
     def analyze(self, doc: CnxDocument):
         """Static-analysis report for *doc* against this runner's cluster.
@@ -263,12 +331,30 @@ class ClientRunner:
     def _submit(
         self, doc: CnxDocument, job: CnxJob, runtime_args: Mapping[str, Any]
     ) -> JobHandle:
-        specs = expand_dynamic_tasks(job, runtime_args)
+        degradations: list = []
+        budget = (
+            self.api.cluster.total_free_memory() if self.degrade else None
+        )
+        specs = expand_dynamic_tasks(
+            job,
+            runtime_args,
+            memory_budget=budget,
+            degradations=degradations,
+        )
         total_memory = sum(s.memory for s in specs)
         handle = self.api.create_job(
             doc.client.cls,
             requirements={"tasks": len(specs), "memory": total_memory},
         )
+        for event in degradations:
+            handle.job.route(
+                Message(
+                    MessageType.JOB_DEGRADED,
+                    sender="client-runner",
+                    recipient="client",
+                    payload=event,
+                )
+            )
         for spec in specs:
             self.api.create_task(handle, spec)
         return handle

@@ -8,13 +8,25 @@ section 3)
 wires every JobManager to every TaskManager (the subnet is flat), and
 owns lifecycle.  It is intentionally cheap to construct so tests and
 benchmarks can spin up clusters of various sizes.
+
+Fault tolerance: the cluster owns the shared :class:`VirtualClock` and
+drives the failure-detection loop.  Each :meth:`tick` advances virtual
+time, fires any chaos-scheduled node crashes, publishes one heartbeat
+per live TaskManager on the bus (every CNServer relays them into its
+failure detector), runs each live JobManager's detection period, and
+expires per-task deadlines.  Tests call :meth:`tick` explicitly for
+determinism; :meth:`start_heartbeats` runs the same loop on a background
+thread for wall-clock runs.  :meth:`kill_node` / :meth:`revive_node` /
+:meth:`partition` are the operator-style fault controls.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import AbstractContextManager
 from typing import Optional, Sequence
 
+from .chaos import ChaosPolicy, ExponentialBackoff, VirtualClock
 from .multicast import MulticastBus
 from .registry import TaskRegistry
 from .server import CNServer
@@ -34,11 +46,19 @@ class Cluster(AbstractContextManager):
         slots_per_node: int = 64,
         per_hop_latency: float = 0.0,
         node_names: Optional[Sequence[str]] = None,
+        chaos: Optional[ChaosPolicy] = None,
+        clock: Optional[VirtualClock] = None,
+        failure_k: int = 3,
+        tick_period: float = 1.0,
+        retry_backoff: Optional[ExponentialBackoff] = None,
     ) -> None:
         if nodes < 1:
             raise ValueError("a cluster needs at least one node")
         self.registry = registry if registry is not None else TaskRegistry()
-        self.bus = MulticastBus(per_hop_latency=per_hop_latency)
+        self.chaos = chaos
+        self.clock = clock if clock is not None else VirtualClock()
+        self.tick_period = tick_period
+        self.bus = MulticastBus(per_hop_latency=per_hop_latency, chaos=chaos)
         names = list(node_names) if node_names else [f"node{i}" for i in range(nodes)]
         if len(names) != nodes:
             raise ValueError(f"{nodes} nodes but {len(names)} names")
@@ -49,10 +69,24 @@ class Cluster(AbstractContextManager):
                 self.registry,
                 memory_capacity=memory_per_node,
                 slots=slots_per_node,
+                chaos=chaos,
+                clock=self.clock,
+                failure_k=failure_k,
+                retry_backoff=retry_backoff,
             )
             for name in names
         ]
         self._started = False
+        self._dead: set[str] = set()
+        self._ticks = 0
+        self._tick_lock = threading.RLock()
+        self._pumper: Optional[threading.Thread] = None
+        self._pumper_stop = threading.Event()
+        for server in self.servers:
+            # chaos-triggered node death goes through the full kill path
+            server.taskmanager.crash_hook = (
+                lambda name=server.name: self.kill_node(name)
+            )
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> "Cluster":
@@ -68,6 +102,7 @@ class Cluster(AbstractContextManager):
         return self
 
     def shutdown(self) -> None:
+        self.stop_heartbeats()
         for server in self.servers:
             server.shutdown()
         self._started = False
@@ -77,6 +112,100 @@ class Cluster(AbstractContextManager):
 
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
+
+    # -- fault controls ----------------------------------------------------------
+    def kill_node(self, name: str) -> None:
+        """Abrupt node death: the TaskManager crashes (dropping all its
+        hosted tasks) and the server falls off the bus, so it stops
+        answering solicitations and stops heartbeating.  Detection and
+        recovery happen on subsequent :meth:`tick` calls."""
+        server = self.server(name)
+        if name in self._dead:
+            return
+        self._dead.add(name)
+        server.taskmanager.crash()
+        server.leave_subnet()
+
+    def revive_node(self, name: str) -> None:
+        """Bring a dead node back empty; its next heartbeat resurrects it
+        in every failure detector and it becomes placeable again."""
+        server = self.server(name)
+        if name not in self._dead:
+            return
+        self._dead.discard(name)
+        server.taskmanager.revive()
+        server.rejoin_subnet()
+        for peer in self.alive_servers():
+            peer.jobmanager.register_taskmanager(server.taskmanager)
+            server.jobmanager.register_taskmanager(peer.taskmanager)
+
+    def partition(self, *groups: Sequence[str]) -> None:
+        """Split the subnet into isolated groups of node names."""
+        self.bus.set_partition(groups)
+
+    def heal_partition(self) -> None:
+        self.bus.heal_partition()
+
+    def alive_servers(self) -> list[CNServer]:
+        return [s for s in self.servers if s.name not in self._dead]
+
+    def dead_nodes(self) -> set[str]:
+        return set(self._dead)
+
+    # -- failure-detection loop -------------------------------------------------
+    def tick(self, steps: int = 1) -> None:
+        """One (or more) failure-detection periods, entirely deterministic:
+        advance the virtual clock, fire scheduled chaos node crashes,
+        publish heartbeats, run every live JobManager's detector, expire
+        task deadlines."""
+        for _ in range(steps):
+            with self._tick_lock:
+                self._ticks += 1
+                tick = self._ticks
+                self.clock.advance(self.tick_period)
+                now = self.clock.now()
+                if self.chaos is not None and self.chaos.enabled:
+                    for node in self.chaos.nodes_to_crash(tick):
+                        if node in {s.name for s in self.servers}:
+                            self.kill_node(node)
+                for server in self.alive_servers():
+                    beat = server.taskmanager.beat()
+                    if beat is not None:
+                        self.bus.publish(
+                            "heartbeat", beat, sender=server.taskmanager.name
+                        )
+                alive = self.alive_servers()
+            # detection + recovery outside the tick lock: recovery can
+            # solicit the bus and start task threads
+            for server in alive:
+                server.jobmanager.on_tick()
+            for server in alive:
+                server.taskmanager.expire_deadlines(now)
+
+    def start_heartbeats(self, interval: float = 0.05) -> None:
+        """Run :meth:`tick` on a daemon thread every *interval* wall-clock
+        seconds -- for runs that cannot call tick explicitly (the portal,
+        examples).  Virtual time still advances by ``tick_period`` per
+        tick, so deadlines stay in virtual seconds."""
+        if self._pumper is not None and self._pumper.is_alive():
+            return
+        self._pumper_stop.clear()
+
+        def pump() -> None:
+            while not self._pumper_stop.wait(interval):
+                self.tick()
+
+        self._pumper = threading.Thread(
+            target=pump, name="cn-heartbeat-pumper", daemon=True
+        )
+        self._pumper.start()
+
+    def stop_heartbeats(self) -> None:
+        self._pumper_stop.set()
+        pumper = self._pumper
+        if pumper is not None and pumper.is_alive():
+            pumper.join(timeout=2.0)
+        self._pumper = None
 
     # -- conveniences --------------------------------------------------------------
     @property
@@ -90,7 +219,9 @@ class Cluster(AbstractContextManager):
         raise KeyError(f"no server named {name!r}")
 
     def total_free_memory(self) -> int:
-        return sum(s.taskmanager.free_memory for s in self.servers)
+        """Aggregate free memory across *live* nodes (a crashed node's
+        capacity is not placeable and must not be advertised)."""
+        return sum(s.taskmanager.free_memory for s in self.alive_servers())
 
     def __repr__(self) -> str:
         return f"<Cluster {len(self.servers)} node(s)>"

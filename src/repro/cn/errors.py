@@ -9,6 +9,7 @@ __all__ = [
     "NoWillingJobManager",
     "NoWillingTaskManager",
     "JobError",
+    "JobTimeoutError",
     "TaskFailedError",
     "UnknownTaskError",
     "MessageTimeout",
@@ -40,6 +41,27 @@ class NoWillingTaskManager(CnError):
 
 class JobError(CnError):
     """Generic job-level failure."""
+
+
+class JobTimeoutError(JobError):
+    """``Job.wait`` gave up; carries the per-task states at the moment of
+    the timeout so "still running" and "wedged" are distinguishable."""
+
+    def __init__(self, job_id: str, timeout: object, states: dict[str, str]) -> None:
+        self.job_id = job_id
+        self.timeout = timeout
+        self.states = dict(states)
+        pending = sorted(
+            name
+            for name, state in states.items()
+            if state not in ("COMPLETED", "FAILED", "CANCELLED")
+        )
+        summary = ", ".join(f"{name}={states[name]}" for name in sorted(states))
+        super().__init__(
+            f"job {job_id} did not finish within {timeout}s; "
+            f"{len(pending)} task(s) not terminal ({', '.join(pending) or 'none'}); "
+            f"states: {summary}"
+        )
 
 
 class TaskFailedError(JobError):

@@ -18,7 +18,13 @@ from typing import Any, Optional, Sequence
 import pickle
 
 from ..core.cnx.schema import CnxTask
-from .errors import JobError, TaskFailedError, UnknownTaskError
+from .errors import (
+    JobError,
+    JobTimeoutError,
+    ShutdownError,
+    TaskFailedError,
+    UnknownTaskError,
+)
 from .messages import Message, MessageType
 from .queues import MessageQueue
 from .runmodel import RunModel
@@ -39,6 +45,9 @@ class TaskSpec:
     runmodel: RunModel = RunModel.RUN_AS_THREAD_IN_TM
     params: tuple = ()
     max_retries: int = 0
+    #: per-task deadline in virtual seconds (advanced by Cluster.tick);
+    #: None disables the watchdog for this task
+    deadline: Optional[float] = None
 
     @classmethod
     def from_cnx(cls, task: CnxTask) -> "TaskSpec":
@@ -84,7 +93,11 @@ class TaskRuntime:
         self.result: Any = None
         self.error: Optional[str] = None
         self.queue: Optional[MessageQueue] = None
-        self.attempts = 0  # completed + failed runs so far
+        self.attempts = 0  # runs started so far (completed, failed, or fenced)
+        #: placement generation: bumped every time the task is (re)hosted.
+        #: A run whose hosting epoch no longer matches is a zombie (its
+        #: node crashed or it was re-placed) and its outcome is discarded.
+        self.epoch = 0
 
     @property
     def name(self) -> str:
@@ -117,6 +130,13 @@ class Job:
         # the paper's row-k broadcast analysis (section 2) predicts
         self.messages_routed = 0
         self.payload_bytes = 0
+        #: messages re-delivered into fresh queues after a re-placement
+        #: (not part of the paper's wire-volume accounting)
+        self.messages_replayed = 0
+        # per-task delivery ledger: everything ever routed to each task,
+        # replayed into the fresh queue when a task is re-placed after a
+        # crash so restarted attempts see the full message history
+        self._delivery_log: dict[str, list[Message]] = {}
 
     # -- roster ----------------------------------------------------------------
     def add_task(self, spec: TaskSpec) -> TaskRuntime:
@@ -171,7 +191,16 @@ class Job:
             self.payload_bytes += size
 
     def route(self, message: Message) -> None:
-        """Deliver *message* to a task queue or the client queue."""
+        """Deliver *message* to a task queue or the client queue.
+
+        Task-bound messages are recorded in the per-task delivery ledger
+        first, so a recipient whose hosting just died (closed queue) does
+        not crash the *sender*: the message is kept and replayed into the
+        fresh queue once the task is re-placed (see :meth:`replay_into`).
+        Delivery to tasks is therefore at-least-once across attempts --
+        a restarted attempt may see messages its predecessor already
+        consumed, and consumers must tolerate duplicates.
+        """
         self._account(message)
         if message.recipient == "client":
             self.client_queue.put(message)
@@ -182,7 +211,35 @@ class Job:
                 f"task {message.recipient!r} has no queue yet (state "
                 f"{runtime.state.value})"
             )
-        runtime.queue.put(message)
+        with self._lock:
+            self._delivery_log.setdefault(message.recipient, []).append(message)
+        try:
+            runtime.queue.put(message)
+        except ShutdownError:
+            # recipient's queue closed mid-delivery (node crash, deadline
+            # cancel): the ledger keeps the message for replay
+            pass
+
+    def replay_into(self, name: str) -> int:
+        """Re-deliver every logged message for *name* into its (fresh)
+        queue; used by the JobManager after re-placing a crashed task.
+        Returns the number of messages replayed."""
+        runtime = self.task(name)
+        queue = runtime.queue
+        if queue is None:
+            return 0
+        with self._lock:
+            pending = list(self._delivery_log.get(name, ()))
+        delivered = 0
+        for message in pending:
+            try:
+                queue.put(message)
+            except ShutdownError:
+                break
+            delivered += 1
+        with self._lock:
+            self.messages_replayed += delivered
+        return delivered
 
     # -- completion ---------------------------------------------------------------
     def note_terminal(self, name: str) -> None:
@@ -200,9 +257,11 @@ class Job:
 
     def wait(self, timeout: Optional[float] = None) -> dict[str, Any]:
         """Block until every task is terminal (or one fails).  Returns the
-        result map; raises the first :class:`TaskFailedError` on failure."""
+        result map; raises the first :class:`TaskFailedError` on failure.
+        On timeout raises :class:`JobTimeoutError` carrying the per-task
+        states, so "still running" is distinguishable from "wedged"."""
         if not self._finished.wait(timeout):
-            raise JobError(f"job {self.job_id} did not finish within {timeout}s")
+            raise JobTimeoutError(self.job_id, timeout, self.states())
         if self.failed is not None:
             raise self.failed
         return self.results()

@@ -15,14 +15,25 @@ also drives the dependency DAG: when a task completes, every dependent
 whose dependencies are all complete is started automatically -- this is
 the "transitions are triggered by internal task termination" semantics
 the activity-diagram mapping relies on (paper section 4).
+
+Fault tolerance: a :class:`FailureDetector` tracks heartbeats from every
+registered TaskManager (relayed off the multicast bus by the CNServer)
+and declares a node dead after K consecutive missed beats.  Node death
+triggers :meth:`handle_node_failure`, which evicts the node from the
+placement pool and bulk-recovers its orphaned tasks through the same
+:meth:`_recover` path individual task retries use -- re-place, replay
+the message ledger, restart.  Retries back off exponentially with
+deterministic seed-derived jitter (:class:`~repro.cn.chaos.ExponentialBackoff`).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Optional
+import time
+from typing import Callable, Iterable, Optional
 
-from .errors import CnError, NoWillingTaskManager
+from .chaos import ExponentialBackoff
+from .errors import CnError, NoWillingTaskManager, ShutdownError, UnknownTaskError
 from .job import Job, TaskRuntime, TaskSpec, TaskState
 from .messages import Message, MessageType
 from .multicast import MulticastBus, Solicitation
@@ -30,7 +41,77 @@ from .registry import TaskRegistry
 from .runmodel import RunModel
 from .taskmanager import TaskManager
 
-__all__ = ["JobManager"]
+__all__ = ["JobManager", "FailureDetector"]
+
+
+class FailureDetector:
+    """K-consecutive-missed-heartbeat failure detector.
+
+    Each watched node has a miss counter; a heartbeat resets it, a tick
+    without an intervening heartbeat increments it, and crossing
+    ``k_misses`` declares the node dead.  A later heartbeat from a dead
+    node (partition healed, node revived) resurrects it -- the classic
+    eventually-perfect-detector behaviour: mistakes are possible but
+    corrected.
+    """
+
+    def __init__(self, k_misses: int = 3) -> None:
+        if k_misses < 1:
+            raise ValueError(f"k_misses must be >= 1, got {k_misses}")
+        self.k_misses = k_misses
+        self._misses: dict[str, int] = {}
+        self._beat_since_tick: dict[str, bool] = {}
+        self._dead: set[str] = set()
+        self._lock = threading.Lock()
+
+    def watch(self, node: str) -> None:
+        with self._lock:
+            self._misses.setdefault(node, 0)
+            self._beat_since_tick.setdefault(node, True)
+
+    def unwatch(self, node: str) -> None:
+        with self._lock:
+            self._misses.pop(node, None)
+            self._beat_since_tick.pop(node, None)
+            self._dead.discard(node)
+
+    def beat(self, node: str) -> bool:
+        """Record a heartbeat.  Returns True when this beat resurrects a
+        node previously declared dead (a false positive being corrected)."""
+        with self._lock:
+            if node not in self._misses:
+                return False
+            self._misses[node] = 0
+            self._beat_since_tick[node] = True
+            if node in self._dead:
+                self._dead.discard(node)
+                return True
+            return False
+
+    def tick(self) -> list[str]:
+        """One detection period: nodes silent since the last tick accrue a
+        miss; returns the nodes newly declared dead on this tick."""
+        newly_dead: list[str] = []
+        with self._lock:
+            for node in self._misses:
+                if node in self._dead:
+                    continue
+                if self._beat_since_tick.get(node):
+                    self._beat_since_tick[node] = False
+                    continue
+                self._misses[node] += 1
+                if self._misses[node] >= self.k_misses:
+                    self._dead.add(node)
+                    newly_dead.append(node)
+        return newly_dead
+
+    def dead_nodes(self) -> set[str]:
+        with self._lock:
+            return set(self._dead)
+
+    def misses(self, node: str) -> int:
+        with self._lock:
+            return self._misses.get(node, 0)
 
 
 class JobManager:
@@ -44,6 +125,9 @@ class JobManager:
         *,
         max_jobs: int = 16,
         local_taskmanager: Optional[TaskManager] = None,
+        failure_k: int = 3,
+        retry_backoff: Optional[ExponentialBackoff] = None,
+        sleeper: Optional[Callable[[float], None]] = None,
     ) -> None:
         self.name = name
         self.bus = bus
@@ -55,6 +139,11 @@ class JobManager:
         self._lock = threading.RLock()
         self._taskmanagers: dict[str, TaskManager] = {}
         self._shutdown = False
+        self.failure_detector = FailureDetector(failure_k)
+        self.backoff = retry_backoff if retry_backoff is not None else ExponentialBackoff()
+        self._sleeper = sleeper if sleeper is not None else time.sleep
+        #: nodes this manager has declared dead and recovered from
+        self.failed_nodes: list[str] = []
 
     # -- discovery ---------------------------------------------------------
     def willing_to_manage(self, solicitation: Solicitation) -> Optional[dict]:
@@ -81,6 +170,53 @@ class JobManager:
         """Make *tm* known for direct upload after a successful solicit."""
         with self._lock:
             self._taskmanagers[tm.name] = tm
+        self.failure_detector.watch(tm.name)
+
+    # -- failure detection -------------------------------------------------------
+    def on_heartbeat(self, node: str) -> None:
+        """A heartbeat arrived (relayed from the bus by the CNServer)."""
+        self.failure_detector.beat(node)
+
+    def on_tick(self) -> list[str]:
+        """One failure-detection period; recovers from any node newly
+        declared dead.  Returns those nodes' names."""
+        newly_dead = self.failure_detector.tick()
+        for node in newly_dead:
+            self.handle_node_failure(node)
+        return newly_dead
+
+    def handle_node_failure(self, node: str) -> None:
+        """A TaskManager is dead: bulk-recover every unfinished task it
+        was hosting.  The registration itself is kept -- placement
+        filters on the detector's dead set, and a later resurrection
+        (healed partition, revived node) makes the node placeable again
+        without re-registration."""
+        with self._lock:
+            self.failed_nodes.append(node)
+            jobs = [j for j in self.jobs.values() if not j.finished]
+        for job in jobs:
+            orphans = [
+                rt
+                for rt in (job.tasks[name] for name in job.task_names())
+                if rt.node_name == node
+                and not rt.state.terminal
+                and rt.state is not TaskState.PENDING
+            ]
+            if not orphans:
+                continue
+            self._route_safe(
+                job,
+                Message(
+                    MessageType.NODE_FAILED,
+                    sender=self.name,
+                    recipient="client",
+                    payload={
+                        "node": node,
+                        "orphans": [rt.name for rt in orphans],
+                    },
+                ),
+            )
+            self._recover(job, orphans, reason="node-failure")
 
     # -- job lifecycle -----------------------------------------------------------
     def create_job(self, client_name: str) -> Job:
@@ -125,6 +261,9 @@ class JobManager:
                 sender=self.name,
             )
         )
+        # a dead node's stale offer must not win placement
+        dead = self.failure_detector.dead_nodes()
+        offers = [o for o in offers if o[1]["taskmanager"] not in dead]
         if not offers:
             raise NoWillingTaskManager(
                 f"no TaskManager willing to host {spec.name!r} "
@@ -133,7 +272,7 @@ class JobManager:
         # best fit: most free memory first; ties broken by name for determinism
         offers.sort(key=lambda item: (-item[1]["free_memory"], item[0]))
         tm_name = offers[0][1]["taskmanager"]
-        tm = self._taskmanagers.get(tm_name)
+        tm = self._tm_lookup(tm_name)
         if tm is None:
             raise CnError(
                 f"TaskManager {tm_name!r} responded on the bus but is not "
@@ -145,12 +284,26 @@ class JobManager:
     # -- starting & DAG driving ------------------------------------------------------
     def start_task(self, job: Job, name: str, *, claim_only: bool = False) -> bool:
         """Start one task explicitly (dependencies are not checked; the
-        generated clients start roots and let completion drive the rest)."""
+        generated clients start roots and let completion drive the rest).
+
+        Under ``claim_only`` a hosting that vanished between placement and
+        start (node crash) is not an error -- the task is simply not
+        started here; recovery will re-place and start it."""
         runtime = job.task(name)
-        tm = self._tm_for(runtime)
-        return tm.start_task(
-            job, name, on_terminal=self._on_terminal, claim_only=claim_only
-        )
+        try:
+            tm = self._tm_for(runtime)
+        except CnError:
+            if claim_only:
+                return False
+            raise
+        try:
+            return tm.start_task(
+                job, name, on_terminal=self._on_terminal, claim_only=claim_only
+            )
+        except (CnError, ShutdownError):
+            if claim_only:
+                return False
+            raise
 
     def start_job(self, job: Job) -> None:
         """Start every dependency-free task; the completion callback
@@ -175,50 +328,84 @@ class JobManager:
             self.start_task(job, runtime.name, claim_only=True)
 
     def _retry(self, job: Job, runtime: TaskRuntime) -> None:
-        """Re-place and restart a failed task with retry budget left.
+        """Re-place and restart a failed task with retry budget left."""
+        self._recover(job, [runtime], reason="retry")
 
-        The old hosting is evicted (its memory was released on failure)
-        and placement is solicited afresh, so the retry may land on a
-        different node -- the useful property when the failure was
-        node-local.  Messages queued for the failed attempt are dropped
-        with it: retried tasks start with a fresh queue, and peers that
-        coordinate with them must tolerate re-requests (at-most-once
-        delivery, documented on TaskContext)."""
-        old_tm = self._taskmanagers.get(runtime.node_name or "")
-        if old_tm is None and self.local_taskmanager is not None:
-            if self.local_taskmanager.name == runtime.node_name:
-                old_tm = self.local_taskmanager
-        if old_tm is not None:
-            old_tm.evict(job, runtime.name)
-        try:
-            self._place(job, runtime)
-            self.start_task(job, runtime.name, claim_only=True)
-        except CnError:
-            runtime.state = TaskState.FAILED
-            runtime.error = (
-                (runtime.error or "")
-                + f"\nretry placement failed for attempt {runtime.attempts + 1}"
-            )
+    def _recover(
+        self, job: Job, runtimes: Iterable[TaskRuntime], *, reason: str
+    ) -> None:
+        """The single recovery path for retries, deadline expiries, and
+        node failures: evict the old hosting, back off (retries only),
+        re-place via fresh solicitation, replay the task's message ledger
+        into the new queue, and restart whatever became ready.
+
+        The re-placement may land on a different node -- the useful
+        property when the failure was node-local.  Replay makes delivery
+        at-least-once across attempts; peers must tolerate duplicates
+        (documented on TaskContext)."""
+        recovered: list[TaskRuntime] = []
+        for runtime in runtimes:
+            if runtime.state.terminal:
+                continue
+            old_tm = self._tm_lookup(runtime.node_name or "")
+            if old_tm is not None:
+                old_tm.evict(job, runtime.name)
+            if reason == "retry":
+                # exponential backoff with deterministic jitter between
+                # attempts; sleeper is injectable so tests don't wait
+                delay = self.backoff.delay(runtime.attempts + 1, key=runtime.name)
+                if delay > 0:
+                    self._sleeper(delay)
+            runtime.state = TaskState.PENDING
             try:
-                job.route(
+                self._place(job, runtime)
+            except CnError:
+                runtime.state = TaskState.FAILED
+                runtime.error = (
+                    (runtime.error or "")
+                    + f"\n{reason}: re-placement failed for attempt "
+                    f"{runtime.attempts + 1} (no willing TaskManager)"
+                )
+                self._route_safe(
+                    job,
                     Message(
                         MessageType.TASK_FAILED,
                         sender=self.name,
                         recipient="client",
                         payload={"task": runtime.name, "error": runtime.error},
-                    )
+                    ),
                 )
-            except Exception:
-                pass
-            job.note_terminal(runtime.name)
+                job.note_terminal(runtime.name)
+                continue
+            job.replay_into(runtime.name)
+            recovered.append(runtime)
+        ready = {rt.name for rt in job.ready_tasks()}
+        for runtime in recovered:
+            if runtime.name in ready:
+                self.start_task(job, runtime.name, claim_only=True)
+
+    def _route_safe(self, job: Job, message: Message) -> None:
+        """Route a notification, recording (not swallowing silently) the
+        cases where the job side is already torn down."""
+        try:
+            job.route(message)
+        except (ShutdownError, UnknownTaskError) as exc:
+            from .trace import note_undeliverable  # local: trace imports api
+
+            note_undeliverable(job.job_id, message, exc)
+
+    def _tm_lookup(self, node_name: str) -> Optional[TaskManager]:
+        with self._lock:
+            tm = self._taskmanagers.get(node_name)
+        if tm is None and self.local_taskmanager is not None:
+            if self.local_taskmanager.name == node_name:
+                tm = self.local_taskmanager
+        return tm
 
     def _tm_for(self, runtime: TaskRuntime) -> TaskManager:
         if runtime.node_name is None:
             raise CnError(f"task {runtime.name!r} has not been placed")
-        tm = self._taskmanagers.get(runtime.node_name)
-        if tm is None and self.local_taskmanager is not None:
-            if self.local_taskmanager.name == runtime.node_name:
-                tm = self.local_taskmanager
+        tm = self._tm_lookup(runtime.node_name)
         if tm is None:
             raise CnError(f"unknown TaskManager {runtime.node_name!r}")
         return tm
@@ -242,17 +429,17 @@ class JobManager:
                 for name in job.task_names()
             },
         }
-        try:
-            job.route(
-                Message(
-                    MessageType.STATUS,
-                    sender=self.name,
-                    recipient="client",
-                    payload=payload,
-                )
-            )
-        except Exception:
-            pass  # job already torn down; the return value still answers
+        # job already torn down: the return value still answers, but the
+        # undelivered STATUS is recorded rather than silently dropped
+        self._route_safe(
+            job,
+            Message(
+                MessageType.STATUS,
+                sender=self.name,
+                recipient="client",
+                payload=payload,
+            ),
+        )
         return payload
 
     # -- cancellation / shutdown ---------------------------------------------------
@@ -260,7 +447,9 @@ class JobManager:
         for name in job.task_names():
             runtime = job.task(name)
             if runtime.node_name is not None and not runtime.state.terminal:
-                self._tm_for(runtime).cancel_task(job, name)
+                tm = self._tm_lookup(runtime.node_name)
+                if tm is not None:
+                    tm.cancel_task(job, name)
 
     def shutdown(self) -> None:
         with self._lock:

@@ -41,9 +41,15 @@ class MessageType:
     TASK_FAILED = "TASK_FAILED"
     TASK_RETRY = "TASK_RETRY"
     TASK_CANCELLED = "TASK_CANCELLED"
+    TASK_TIMEOUT = "TASK_TIMEOUT"
     STATUS = "STATUS"
     JOB_COMPLETED = "JOB_COMPLETED"
     JOB_FAILED = "JOB_FAILED"
+    # fault-tolerance notifications (repository extension): a node was
+    # declared dead by the failure detector / a dynamic job shrank its
+    # worker multiplicity to fit degraded cluster capacity
+    NODE_FAILED = "NODE_FAILED"
+    JOB_DEGRADED = "JOB_DEGRADED"
 
     # application-defined payloads; CN is a pure delivery mechanism
     USER = "USER"
@@ -85,9 +91,12 @@ def is_well_defined(message_type: str) -> bool:
         MessageType.TASK_FAILED,
         MessageType.TASK_RETRY,
         MessageType.TASK_CANCELLED,
+        MessageType.TASK_TIMEOUT,
         MessageType.STATUS,
         MessageType.JOB_COMPLETED,
         MessageType.JOB_FAILED,
+        MessageType.NODE_FAILED,
+        MessageType.JOB_DEGRADED,
     }
 
 

@@ -10,17 +10,37 @@ subscriber and collects the non-``None`` responses.  A configurable
 per-subscriber artificial latency lets the placement benchmarks model
 cluster sizes (the real system pays one LAN round-trip per responder;
 we charge a deterministic simulated cost instead of wall-clock sleeps).
+
+Fault-tolerance extensions:
+
+* :meth:`publish` / :meth:`attach_listener` -- one-way event fan-out
+  (heartbeats) alongside the request/response solicitations,
+* :meth:`set_partition` -- a network partition: deliveries only cross
+  between nodes in the same group; names that are not cluster nodes
+  (clients, the portal) are outside the partition and reach everyone,
+* an optional :class:`~repro.cn.chaos.ChaosPolicy` that may drop any
+  individual delivery (lossy multicast), keyed deterministically by the
+  bus-wide delivery index.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .chaos import ChaosPolicy
 
 __all__ = ["MulticastBus", "Solicitation", "BusStats"]
 
 Responder = Callable[["Solicitation"], Optional[Any]]
+Listener = Callable[[str, dict], None]
+
+
+def _node_of(name: str) -> str:
+    """The node a bus participant belongs to (``node0/tm`` -> ``node0``)."""
+    return name.split("/", 1)[0]
 
 
 @dataclass(frozen=True)
@@ -40,16 +60,28 @@ class BusStats:
     deliveries: int = 0
     responses: int = 0
     simulated_latency: float = 0.0  # accumulated virtual seconds
+    publishes: int = 0
+    dropped: int = 0      # chaos-injected delivery losses
+    partitioned: int = 0  # deliveries blocked by an active partition
 
 
 class MulticastBus:
     """In-process multicast with response collection."""
 
-    def __init__(self, *, per_hop_latency: float = 0.0) -> None:
+    def __init__(
+        self,
+        *,
+        per_hop_latency: float = 0.0,
+        chaos: "Optional[ChaosPolicy]" = None,
+    ) -> None:
         self._subscribers: list[tuple[str, Responder]] = []
+        self._listeners: list[tuple[str, Listener]] = []
         self._lock = threading.RLock()
         self.per_hop_latency = per_hop_latency
+        self.chaos = chaos
         self.stats = BusStats()
+        self._groups: Optional[dict[str, int]] = None
+        self._delivery_index = 0
 
     def subscribe(self, name: str, responder: Responder) -> None:
         with self._lock:
@@ -63,6 +95,65 @@ class MulticastBus:
         with self._lock:
             return [n for n, _ in self._subscribers]
 
+    # -- event listeners (heartbeats) -----------------------------------------
+    def attach_listener(self, name: str, listener: Listener) -> None:
+        """Register a one-way event listener (no response collected)."""
+        with self._lock:
+            self._listeners.append((name, listener))
+
+    def detach_listener(self, name: str) -> None:
+        with self._lock:
+            self._listeners = [(n, f) for n, f in self._listeners if n != name]
+
+    def publish(self, topic: str, payload: dict, *, sender: str = "") -> int:
+        """Deliver an event to every reachable listener; returns the
+        number of successful deliveries.  Listeners that raise are
+        skipped (a crashed node must not take down the subnet)."""
+        with self._lock:
+            listeners = list(self._listeners)
+        self.stats.publishes += 1
+        delivered = 0
+        for name, listener in listeners:
+            if not self.reachable(sender, name):
+                self.stats.partitioned += 1
+                continue
+            if self._chaos_drops(sender, name):
+                continue
+            try:
+                listener(topic, payload)
+            except Exception:
+                continue
+            delivered += 1
+        return delivered
+
+    # -- partitions ---------------------------------------------------------------
+    def set_partition(self, groups: Sequence[Sequence[str]]) -> None:
+        """Split the subnet: deliveries cross only within a group.
+        Participants not named in any group (clients, the portal) are
+        outside the partition and stay reachable from everywhere."""
+        mapping: dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                mapping[_node_of(name)] = index
+        with self._lock:
+            self._groups = mapping
+
+    def heal_partition(self) -> None:
+        with self._lock:
+            self._groups = None
+
+    def reachable(self, sender: str, receiver: str) -> bool:
+        with self._lock:
+            groups = self._groups
+        if groups is None:
+            return True
+        sender_group = groups.get(_node_of(sender))
+        receiver_group = groups.get(_node_of(receiver))
+        if sender_group is None or receiver_group is None:
+            return True  # at least one endpoint is outside the partition
+        return sender_group == receiver_group
+
+    # -- solicitations -----------------------------------------------------------
     def solicit(self, solicitation: Solicitation) -> list[tuple[str, Any]]:
         """Deliver to all subscribers; collect willing (name, offer) pairs.
 
@@ -75,6 +166,11 @@ class MulticastBus:
         self.stats.solicitations += 1
         offers: list[tuple[str, Any]] = []
         for name, responder in subscribers:
+            if not self.reachable(solicitation.sender, name):
+                self.stats.partitioned += 1
+                continue
+            if self._chaos_drops(solicitation.sender, name):
+                continue
             self.stats.deliveries += 1
             self.stats.simulated_latency += self.per_hop_latency
             try:
@@ -85,3 +181,15 @@ class MulticastBus:
                 self.stats.responses += 1
                 offers.append((name, offer))
         return offers
+
+    def _chaos_drops(self, sender: str, receiver: str) -> bool:
+        chaos = self.chaos
+        if chaos is None or not chaos.enabled:
+            return False
+        with self._lock:
+            self._delivery_index += 1
+            index = self._delivery_index
+        if chaos.bus_drop(sender, receiver, index):
+            self.stats.dropped += 1
+            return True
+        return False

@@ -51,6 +51,9 @@ class Submission:
     #: submission with error-severity findings is rejected before the
     #: pipeline runs, warnings ride along on accepted submissions
     diagnostics: list[dict[str, Any]] = field(default_factory=list)
+    #: chaos faults injected while this submission ran (dicts, see
+    #: FaultRecord.to_dict); empty when the cluster has no chaos policy
+    fault_events: list[dict[str, Any]] = field(default_factory=list)
 
     def artifacts(self) -> dict[str, str]:
         return {
@@ -59,6 +62,7 @@ class Submission:
             "client.py": self.python_source,
             "client.java": self.java_source,
             "diagnostics": json.dumps(self.diagnostics, indent=2),
+            "faults": json.dumps(self.fault_events, indent=2),
         }
 
     def summary(self) -> dict[str, Any]:
@@ -68,6 +72,7 @@ class Submission:
             "jobs": len(self.results),
             "error": self.error.splitlines()[-1] if self.error else "",
             "diagnostics": len(self.diagnostics),
+            "faults": len(self.fault_events),
         }
 
 
@@ -81,10 +86,15 @@ class Portal:
         registry: Optional[TaskRegistry] = None,
         transform: str = "xslt",
         timeout: float = 120.0,
+        heartbeats: bool = False,
     ) -> None:
         self._owns_cluster = cluster is None
         self.cluster = cluster if cluster is not None else Cluster(4, registry=registry)
         self.cluster.start()
+        if heartbeats:
+            # portal runs cannot call Cluster.tick explicitly; pump the
+            # failure-detection loop on a background thread instead
+            self.cluster.start_heartbeats()
         self.pipeline = Pipeline(transform=transform)
         self.timeout = timeout
         self._submissions: dict[int, Submission] = {}
@@ -102,6 +112,8 @@ class Portal:
             self._counter += 1
             submission = Submission(self._counter, xmi_text=xmi_text)
             self._submissions[submission.submission_id] = submission
+        chaos = self.cluster.chaos
+        faults_before = len(chaos.log_dicts()) if chaos is not None else 0
         try:
             from repro.core.xmi.reader import read_model
 
@@ -125,9 +137,13 @@ class Portal:
             submission.java_source = outcome.java_source
             submission.results = outcome.job_results
             submission.status = "done"
+            if chaos is not None:
+                submission.fault_events = chaos.log_dicts()[faults_before:]
         except Exception:
             submission.status = "failed"
             submission.error = traceback.format_exc()
+            if chaos is not None:
+                submission.fault_events = chaos.log_dicts()[faults_before:]
         return submission
 
     def _analyze(self, model):

@@ -13,10 +13,13 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from .errors import MessageTimeout, ShutdownError
 from .messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .chaos import ChaosPolicy
 
 __all__ = ["MessageQueue"]
 
@@ -24,19 +27,48 @@ _CLOSE = object()
 
 
 class MessageQueue:
-    """Unbounded FIFO of :class:`Message` with close and selective recv."""
+    """Unbounded FIFO of :class:`Message` with close and selective recv.
 
-    def __init__(self, owner: str) -> None:
+    An optional :class:`~repro.cn.chaos.ChaosPolicy` makes the queue a
+    fault site: each ``put`` may be dropped (lossy link) or delayed
+    (the message is held back and delivered just after the *next*
+    successful put -- a deterministic reordering).  Fate decisions are
+    keyed by the per-queue delivery index, so a fixed chaos seed injects
+    the same faults on every run.
+    """
+
+    def __init__(self, owner: str, *, chaos: "Optional[ChaosPolicy]" = None) -> None:
         self.owner = owner
         self._queue: "queue.Queue" = queue.Queue()
         self._closed = threading.Event()
         self._stash: list[Message] = []
         self._stash_lock = threading.Lock()
+        self._chaos = chaos
+        self._put_index = 0
+        self._delayed: list[Message] = []
+        self._delay_lock = threading.Lock()
 
     # -- producer side -----------------------------------------------------
     def put(self, message: Message) -> None:
         if self._closed.is_set():
             raise ShutdownError(f"queue for {self.owner!r} is closed")
+        if self._chaos is not None and self._chaos.enabled:
+            with self._delay_lock:
+                self._put_index += 1
+                index = self._put_index
+            fate = self._chaos.queue_fate(self.owner, index)
+            if fate == "drop":
+                return
+            if fate == "delay":
+                with self._delay_lock:
+                    self._delayed.append(message)
+                return
+            self._queue.put(message)
+            with self._delay_lock:
+                held, self._delayed = self._delayed, []
+            for late in held:
+                self._queue.put(late)
+            return
         self._queue.put(message)
 
     def close(self) -> None:
@@ -88,7 +120,8 @@ class MessageQueue:
                 self._stash.append(message)
 
     def drain(self) -> list[Message]:
-        """All currently queued messages without blocking."""
+        """All currently queued messages without blocking (including any
+        chaos-delayed messages still held back)."""
         out: list[Message] = []
         with self._stash_lock:
             out.extend(self._stash)
@@ -97,11 +130,17 @@ class MessageQueue:
             try:
                 item = self._queue.get_nowait()
             except queue.Empty:
-                return out
+                break
             if item is _CLOSE:
                 self._queue.put(_CLOSE)
-                return out
+                break
             out.append(item)
+        with self._delay_lock:
+            out.extend(self._delayed)
+            self._delayed.clear()
+        return out
 
     def __len__(self) -> int:
-        return len(self._stash) + self._queue.qsize()
+        with self._delay_lock:
+            delayed = len(self._delayed)
+        return len(self._stash) + self._queue.qsize() + delayed

@@ -8,13 +8,16 @@ A CNServer is one simulated cluster node: it subscribes both of its
 components to the multicast bus (jobmanager solicitations answered by
 the JobManager, taskmanager solicitations by the TaskManager's capacity
 check) and registers itself with peer JobManagers so any manager can
-upload tasks to any node.
+upload tasks to any node.  It also relays heartbeat events from the bus
+into its JobManager's failure detector, and can leave/rejoin the subnet
+wholesale when its node crashes or revives.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from .chaos import ChaosPolicy, VirtualClock
 from .jobmanager import JobManager
 from .multicast import MulticastBus, Solicitation
 from .registry import TaskRegistry
@@ -38,13 +41,21 @@ class CNServer:
         max_jobs: int = 16,
         accept_jobs: bool = True,
         accept_tasks: bool = True,
+        chaos: Optional[ChaosPolicy] = None,
+        clock: Optional[VirtualClock] = None,
+        failure_k: int = 3,
+        retry_backoff=None,
     ) -> None:
         self.name = name
         self.bus = bus
         self.accept_jobs = accept_jobs
         self.accept_tasks = accept_tasks
         self.taskmanager = TaskManager(
-            f"{name}/tm", memory_capacity=memory_capacity, slots=slots
+            f"{name}/tm",
+            memory_capacity=memory_capacity,
+            slots=slots,
+            chaos=chaos,
+            clock=clock,
         )
         self.jobmanager = JobManager(
             f"{name}/jm",
@@ -52,15 +63,19 @@ class CNServer:
             registry,
             max_jobs=max_jobs,
             local_taskmanager=self.taskmanager,
+            failure_k=failure_k,
+            retry_backoff=retry_backoff,
         )
         self._subscribed = False
 
     # -- bus integration ------------------------------------------------------
     def start(self) -> None:
-        """Join the neighborhood: subscribe to multicast solicitations."""
+        """Join the neighborhood: subscribe to multicast solicitations and
+        heartbeat events."""
         if self._subscribed:
             return
         self.bus.subscribe(self.name, self._respond)
+        self.bus.attach_listener(self.name, self._on_event)
         self._subscribed = True
 
     def _respond(self, solicitation: Solicitation) -> Optional[dict]:
@@ -84,14 +99,34 @@ class CNServer:
             }
         return None
 
+    def _on_event(self, topic: str, payload: dict) -> None:
+        """Bus event listener: feed heartbeats to the failure detector."""
+        if topic == "heartbeat":
+            node = payload.get("node")
+            if node:
+                self.jobmanager.on_heartbeat(node)
+
     def connect_peer(self, peer: "CNServer") -> None:
         """Allow this node's JobManager to upload tasks to *peer*'s TM."""
         self.jobmanager.register_taskmanager(peer.taskmanager)
 
-    def shutdown(self) -> None:
+    # -- node-level failure ----------------------------------------------------
+    def leave_subnet(self) -> None:
+        """Drop off the bus (crash or partition isolation): no more
+        solicitation responses, no more event deliveries."""
         if self._subscribed:
             self.bus.unsubscribe(self.name)
+            self.bus.detach_listener(self.name)
             self._subscribed = False
+
+    def rejoin_subnet(self) -> None:
+        if not self._subscribed:
+            self.bus.subscribe(self.name, self._respond)
+            self.bus.attach_listener(self.name, self._on_event)
+            self._subscribed = True
+
+    def shutdown(self) -> None:
+        self.leave_subnet()
         self.jobmanager.shutdown()
         self.taskmanager.shutdown()
 

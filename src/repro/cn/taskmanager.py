@@ -10,6 +10,15 @@ the descriptor's ``<memory>`` values) and a bounded number of execution
 slots.  Hosting a task reserves its memory immediately (the JAR is
 "uploaded" and the queue exists even before start); a slot is consumed
 only while the task thread runs.  Both are released on terminal states.
+
+Fault tolerance: the TaskManager is both a fault *site* (an attached
+:class:`~repro.cn.chaos.ChaosPolicy` can crash or stall tasks at start,
+or crash the whole node) and a failure *participant*: it emits
+heartbeats (:meth:`beat`), can :meth:`crash` and :meth:`revive`, and
+runs the per-task deadline watchdog (:meth:`expire_deadlines`).  Every
+hosting carries an *epoch* -- a zombie attempt (its node crashed or the
+task was re-placed elsewhere) discards its outcome instead of publishing
+over the live attempt's state.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ import threading
 import traceback
 from typing import Any, Callable, Optional, Type
 
+from .chaos import ChaosPolicy, InjectedFault, VirtualClock
 from .errors import CnError, ShutdownError, TaskLoadError
 from .job import Job, TaskRuntime, TaskState
 from .messages import Message, MessageType
@@ -31,12 +41,24 @@ __all__ = ["TaskManager", "HostedTask"]
 class HostedTask:
     """Bookkeeping for one task hosted by this TaskManager."""
 
-    def __init__(self, job: Job, runtime: TaskRuntime, task_class: Type[Task]) -> None:
+    def __init__(
+        self, job: Job, runtime: TaskRuntime, task_class: Type[Task], epoch: int
+    ) -> None:
         self.job = job
         self.runtime = runtime
         self.task_class = task_class
         self.thread: Optional[threading.Thread] = None
         self.context: Optional[TaskContext] = None
+        #: the placement generation this hosting belongs to; stale when
+        #: it no longer matches ``runtime.epoch``
+        self.epoch = epoch
+        #: virtual-clock time the task thread started (deadline anchor)
+        self.started_at: Optional[float] = None
+        #: set by the deadline watchdog before cancelling; routes the
+        #: resulting ShutdownError into the retry path
+        self.timed_out = False
+        #: set on cancel/crash/timeout; wakes chaos-stalled tasks
+        self.cancel_event = threading.Event()
 
 
 class TaskManager:
@@ -48,15 +70,24 @@ class TaskManager:
         *,
         memory_capacity: int = 8000,
         slots: int = 64,
+        chaos: Optional[ChaosPolicy] = None,
+        clock: Optional[VirtualClock] = None,
     ) -> None:
         self.name = name
         self.memory_capacity = memory_capacity
         self.slots = slots
+        self.chaos = chaos
+        self.clock = clock if clock is not None else VirtualClock()
+        #: set by the Cluster: invoked when chaos decides this node dies
+        self.crash_hook: Optional[Callable[[], None]] = None
         self._memory_used = 0
         self._slots_used = 0
         self._hosted: dict[tuple[str, str], HostedTask] = {}
         self._lock = threading.RLock()
         self._shutdown = False
+        self._crashed = False
+        self._beats = 0
+        self._starts = 0
 
     # -- capacity -----------------------------------------------------------
     @property
@@ -69,15 +100,64 @@ class TaskManager:
         with self._lock:
             return self.slots - self._slots_used
 
+    @property
+    def crashed(self) -> bool:
+        with self._lock:
+            return self._crashed
+
     def can_host(self, memory: int, runmodel: RunModel) -> bool:
         with self._lock:
-            if self._shutdown:
+            if self._shutdown or self._crashed:
                 return False
             if memory > self.memory_capacity - self._memory_used:
                 return False
             if runmodel.occupies_slot and self._slots_used >= self.slots:
                 return False
             return True
+
+    # -- liveness --------------------------------------------------------------
+    def beat(self) -> Optional[dict]:
+        """One heartbeat (published on the bus by Cluster.tick); a crashed
+        or shut-down node is silent."""
+        with self._lock:
+            if self._crashed or self._shutdown:
+                return None
+            self._beats += 1
+            return {
+                "node": self.name,
+                "beat": self._beats,
+                "hosted": len(self._hosted),
+            }
+
+    def crash(self) -> None:
+        """Simulate abrupt node death: drop all hostings, zero accounting,
+        wake/cancel every running task thread.  Threads keep running as
+        zombies until they notice, but the epoch fence discards their
+        outcomes (see :meth:`_apply_outcome`)."""
+        with self._lock:
+            if self._crashed:
+                return
+            self._crashed = True
+            hosted = list(self._hosted.values())
+            self._hosted.clear()
+            self._memory_used = 0
+            self._slots_used = 0
+        for h in hosted:
+            if h.context is not None:
+                h.context.cancelled = True
+            h.cancel_event.set()
+            # only close queues this hosting still owns -- a task already
+            # re-placed elsewhere has a fresh queue that must stay open
+            if h.epoch == h.runtime.epoch and h.runtime.queue is not None:
+                h.runtime.queue.close()
+
+    def revive(self) -> None:
+        """Bring a crashed node back empty (a rebooted machine)."""
+        with self._lock:
+            self._crashed = False
+            self._memory_used = 0
+            self._slots_used = 0
+            self._hosted.clear()
 
     # -- hosting --------------------------------------------------------------
     def host_task(self, job: Job, runtime: TaskRuntime, task_class: Type[Task]) -> None:
@@ -89,16 +169,23 @@ class TaskManager:
         with self._lock:
             if self._shutdown:
                 raise ShutdownError(f"TaskManager {self.name!r} is shut down")
+            if self._crashed:
+                raise ShutdownError(f"TaskManager {self.name!r} has crashed")
             if not self.can_host(runtime.spec.memory, runtime.spec.runmodel):
                 raise CnError(
                     f"TaskManager {self.name!r} cannot host {runtime.name!r}: "
                     f"free memory {self.free_memory}, requested {runtime.spec.memory}"
                 )
             self._memory_used += runtime.spec.memory
-            runtime.queue = MessageQueue(owner=f"{job.job_id}/{runtime.name}")
+            runtime.queue = MessageQueue(
+                owner=f"{job.job_id}/{runtime.name}", chaos=self.chaos
+            )
             runtime.node_name = self.name
             runtime.state = TaskState.CREATED
-            self._hosted[(job.job_id, runtime.name)] = HostedTask(job, runtime, task_class)
+            runtime.epoch += 1
+            self._hosted[(job.job_id, runtime.name)] = HostedTask(
+                job, runtime, task_class, runtime.epoch
+            )
 
     def start_task(
         self,
@@ -110,13 +197,16 @@ class TaskManager:
     ) -> bool:
         """Run the task on its own thread (per its run model).
 
-        With ``claim_only`` a task that is not in CREATED state is simply
-        not started (returns False) instead of raising -- the scheduler
-        paths (start_job, completion cascade) race benignly on the same
-        ready set and use this to claim each task exactly once."""
+        With ``claim_only`` a task that is not in CREATED state -- or
+        whose hosting vanished underneath a node crash -- is simply not
+        started (returns False) instead of raising; the scheduler paths
+        (start_job, completion cascade, recovery) race benignly on the
+        same ready set and use this to claim each task exactly once."""
         with self._lock:
             hosted = self._hosted.get((job.job_id, name))
             if hosted is None:
+                if claim_only:
+                    return False
                 raise CnError(f"TaskManager {self.name!r} does not host {name!r}")
             runtime = hosted.runtime
             if runtime.state is not TaskState.CREATED:
@@ -128,6 +218,9 @@ class TaskManager:
             if runtime.spec.runmodel.occupies_slot:
                 self._slots_used += 1
             runtime.state = TaskState.RUNNING
+            hosted.started_at = self.clock.now()
+            self._starts += 1
+            starts = self._starts
         thread = threading.Thread(
             target=self._run_task,
             args=(hosted, on_terminal),
@@ -144,6 +237,13 @@ class TaskManager:
             )
         )
         thread.start()
+        chaos = self.chaos
+        if chaos is not None and chaos.enabled and chaos.node_crash_due(self.name, starts):
+            hook = self.crash_hook
+            if hook is not None:
+                hook()  # Cluster.kill_node: crash + leave the subnet
+            else:
+                self.crash()
         return True
 
     def _run_task(
@@ -169,38 +269,81 @@ class TaskManager:
         outcome_type = MessageType.TASK_COMPLETED
         payload: dict[str, Any]
         runtime.attempts += 1
+        attempt = runtime.attempts
         retrying = False
+        state = TaskState.COMPLETED
+        result: Any = None
+        error: Optional[str] = None
         try:
+            chaos = self.chaos
+            if chaos is not None and chaos.enabled:
+                if chaos.should_crash_task(job.job_id, runtime.name, attempt):
+                    raise InjectedFault(
+                        f"chaos: injected crash of {runtime.name!r} "
+                        f"(attempt {attempt}) on {self.name}"
+                    )
+                if chaos.should_stall(job.job_id, runtime.name, attempt):
+                    # a hung task: block until something cancels us (the
+                    # deadline watchdog, a node crash, job cancellation)
+                    hosted.cancel_event.wait()
+                    raise ShutdownError(
+                        f"chaos-stalled task {runtime.name!r} cancelled"
+                    )
             instance = self._instantiate(hosted.task_class, runtime)
             result = instance.run(context)
         except ShutdownError:
-            runtime.state = TaskState.CANCELLED
-            outcome_type = MessageType.TASK_CANCELLED
-            payload = {"task": runtime.name}
+            if hosted.timed_out and attempt <= runtime.spec.max_retries:
+                # deadline expiry with retry budget: back into the retry path
+                state = TaskState.RETRYING
+                retrying = True
+                error = (
+                    f"deadline {runtime.spec.deadline}s exceeded on {self.name} "
+                    f"(attempt {attempt})"
+                )
+                outcome_type = MessageType.TASK_RETRY
+                payload = {
+                    "task": runtime.name,
+                    "attempt": attempt,
+                    "max_retries": runtime.spec.max_retries,
+                    "error": error,
+                    "reason": "timeout",
+                }
+            elif hosted.timed_out:
+                state = TaskState.FAILED
+                error = (
+                    f"deadline {runtime.spec.deadline}s exceeded on {self.name} "
+                    f"(attempt {attempt}); retry budget exhausted"
+                )
+                outcome_type = MessageType.TASK_FAILED
+                payload = {"task": runtime.name, "error": error}
+            else:
+                state = TaskState.CANCELLED
+                outcome_type = MessageType.TASK_CANCELLED
+                payload = {"task": runtime.name}
         except Exception:
-            runtime.error = traceback.format_exc()
-            if runtime.attempts <= runtime.spec.max_retries and not context.cancelled:
+            error = traceback.format_exc()
+            if attempt <= runtime.spec.max_retries and not context.cancelled:
                 # failure with retry budget left: hand back to the
                 # JobManager for re-placement instead of failing the job
-                runtime.state = TaskState.RETRYING
+                state = TaskState.RETRYING
                 retrying = True
                 outcome_type = MessageType.TASK_RETRY
                 payload = {
                     "task": runtime.name,
-                    "attempt": runtime.attempts,
+                    "attempt": attempt,
                     "max_retries": runtime.spec.max_retries,
-                    "error": runtime.error,
+                    "error": error,
                 }
             else:
-                runtime.state = TaskState.FAILED
+                state = TaskState.FAILED
                 outcome_type = MessageType.TASK_FAILED
-                payload = {"task": runtime.name, "error": runtime.error}
+                payload = {"task": runtime.name, "error": error}
         else:
-            runtime.result = result
-            runtime.state = TaskState.COMPLETED
             payload = {"task": runtime.name, "result": result}
         finally:
             self._release(runtime)
+        if not self._apply_outcome(hosted, state, result, error):
+            return  # zombie attempt: node crashed / task re-placed; discard
         try:
             job.route(
                 Message(outcome_type, sender=self.name, recipient="client", payload=payload)
@@ -211,6 +354,77 @@ class TaskManager:
             job.note_terminal(runtime.name)
         if on_terminal is not None:
             on_terminal(job, runtime)
+
+    def _apply_outcome(
+        self,
+        hosted: HostedTask,
+        state: TaskState,
+        result: Any,
+        error: Optional[str],
+    ) -> bool:
+        """Atomically publish a run's outcome unless the hosting went
+        stale (node crash, eviction, re-placement) while it ran."""
+        runtime = hosted.runtime
+        with self._lock:
+            if self._crashed or runtime.epoch != hosted.epoch:
+                return False
+            key = (hosted.job.job_id, runtime.name)
+            if self._hosted.get(key) is not hosted:
+                return False
+            if state is TaskState.COMPLETED:
+                runtime.result = result
+            if error is not None:
+                runtime.error = error
+            runtime.state = state
+        return True
+
+    # -- deadlines ------------------------------------------------------------
+    def expire_deadlines(self, now: Optional[float] = None) -> list[str]:
+        """Cancel running tasks past their deadline into the retry path.
+
+        Driven by :meth:`Cluster.tick`; *now* is virtual-clock time.
+        Returns the names of the tasks timed out on this call."""
+        if now is None:
+            now = self.clock.now()
+        expired: list[HostedTask] = []
+        with self._lock:
+            if self._crashed or self._shutdown:
+                return []
+            for h in self._hosted.values():
+                deadline = h.runtime.spec.deadline
+                if (
+                    deadline is not None
+                    and not h.timed_out
+                    and h.runtime.state is TaskState.RUNNING
+                    and h.started_at is not None
+                    and now - h.started_at >= deadline
+                    and h.epoch == h.runtime.epoch
+                ):
+                    h.timed_out = True
+                    expired.append(h)
+        for h in expired:
+            try:
+                h.job.route(
+                    Message(
+                        MessageType.TASK_TIMEOUT,
+                        sender=self.name,
+                        recipient="client",
+                        payload={
+                            "task": h.runtime.name,
+                            "node": self.name,
+                            "deadline": h.runtime.spec.deadline,
+                            "attempt": h.runtime.attempts,
+                        },
+                    )
+                )
+            except ShutdownError:
+                pass
+            if h.context is not None:
+                h.context.cancelled = True
+            h.cancel_event.set()
+            if h.runtime.queue is not None:
+                h.runtime.queue.close()
+        return [h.runtime.name for h in expired]
 
     def evict(self, job: Job, name: str) -> None:
         """Forget a hosted task (used when a retry re-places elsewhere)."""
@@ -228,6 +442,8 @@ class TaskManager:
 
     def _release(self, runtime: TaskRuntime) -> None:
         with self._lock:
+            if self._crashed:
+                return  # crash already zeroed the accounting
             self._memory_used -= runtime.spec.memory
             if runtime.spec.runmodel.occupies_slot:
                 self._slots_used -= 1
@@ -242,6 +458,7 @@ class TaskManager:
             return
         if hosted.context is not None:
             hosted.context.cancelled = True
+        hosted.cancel_event.set()
         if hosted.runtime.queue is not None:
             hosted.runtime.queue.close()
 
@@ -258,6 +475,7 @@ class TaskManager:
         for h in hosted:
             if h.context is not None:
                 h.context.cancelled = True
+            h.cancel_event.set()
             if h.runtime.queue is not None:
                 h.runtime.queue.close()
 

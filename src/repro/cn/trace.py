@@ -14,17 +14,33 @@ and renderings:
 
 Everything here is read-only over the message stream; tracing never
 perturbs scheduling.
+
+The module also keeps the *undeliverable* log: lifecycle notifications
+the JobManager could not deliver because the job side was already torn
+down (closed client queue).  These used to be silently swallowed; now
+they are recorded so tests and operators can see what was dropped.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
 
 from .api import JobHandle
 from .messages import Message, MessageType
 
-__all__ = ["TraceEvent", "TaskTrace", "JobTrace", "collect_trace", "render_timeline"]
+__all__ = [
+    "TraceEvent",
+    "TaskTrace",
+    "JobTrace",
+    "collect_trace",
+    "render_timeline",
+    "note_undeliverable",
+    "undeliverable_events",
+    "clear_undeliverable",
+]
 
 _LIFECYCLE = {
     MessageType.TASK_CREATED: "created",
@@ -33,7 +49,37 @@ _LIFECYCLE = {
     MessageType.TASK_FAILED: "failed",
     MessageType.TASK_RETRY: "retry",
     MessageType.TASK_CANCELLED: "cancelled",
+    MessageType.TASK_TIMEOUT: "timeout",
 }
+
+# -- undeliverable notifications ------------------------------------------------
+_undeliverable: deque = deque(maxlen=256)
+_undeliverable_lock = threading.Lock()
+
+
+def note_undeliverable(job_id: str, message: Message, exc: Exception) -> None:
+    """Record a lifecycle notification that could not reach its queue
+    (job torn down).  Bounded; oldest entries fall off."""
+    with _undeliverable_lock:
+        _undeliverable.append(
+            {
+                "job_id": job_id,
+                "type": message.type,
+                "recipient": message.recipient,
+                "serial": message.serial,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        )
+
+
+def undeliverable_events() -> list[dict]:
+    with _undeliverable_lock:
+        return list(_undeliverable)
+
+
+def clear_undeliverable() -> None:
+    with _undeliverable_lock:
+        _undeliverable.clear()
 
 
 @dataclass(frozen=True)
@@ -55,6 +101,7 @@ class TaskTrace:
     node: Optional[str] = None
     starts: int = 0
     retries: int = 0
+    timeouts: int = 0
     final: Optional[str] = None  # completed | failed | cancelled
 
     @property
@@ -113,6 +160,8 @@ def collect_trace(handle: JobHandle) -> JobTrace:
                 task.node = event.node
         elif event.kind == "retry":
             task.retries += 1
+        elif event.kind == "timeout":
+            task.timeouts += 1
         elif event.kind in ("completed", "failed", "cancelled"):
             task.final = event.kind
     return trace
@@ -123,6 +172,15 @@ def _to_event(message: Message) -> Optional[TraceEvent]:
         return TraceEvent(message.serial, "job-created", None, None, dict(message.payload or {}))
     if message.type == MessageType.STATUS:
         return TraceEvent(message.serial, "status", None, None, dict(message.payload or {}))
+    if message.type == MessageType.NODE_FAILED:
+        payload = message.payload if isinstance(message.payload, dict) else {}
+        return TraceEvent(
+            message.serial, "node-failed", None, payload.get("node"), dict(payload)
+        )
+    if message.type == MessageType.JOB_DEGRADED:
+        return TraceEvent(
+            message.serial, "degraded", None, None, dict(message.payload or {})
+        )
     kind = _LIFECYCLE.get(message.type)
     if kind is None:
         return None  # user traffic is not lifecycle
@@ -139,14 +197,17 @@ def _to_event(message: Message) -> Optional[TraceEvent]:
 def render_timeline(trace: JobTrace) -> str:
     """Deterministic ASCII lifecycle table for *trace*."""
     lines = [f"job {trace.job_id}", ""]
-    header = f"{'task':<16} {'node':<12} {'starts':>6} {'retries':>7}  final"
+    header = (
+        f"{'task':<16} {'node':<12} {'starts':>6} {'retries':>7} "
+        f"{'timeouts':>8}  final"
+    )
     lines.append(header)
     lines.append("-" * len(header))
     for name in sorted(trace.tasks):
         task = trace.tasks[name]
         lines.append(
             f"{task.name:<16} {(task.node or '?'):<12} {task.starts:>6} "
-            f"{task.retries:>7}  {task.final or 'pending'}"
+            f"{task.retries:>7} {task.timeouts:>8}  {task.final or 'pending'}"
         )
     lines.append("")
     lines.append("event sequence:")

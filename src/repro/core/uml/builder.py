@@ -101,10 +101,12 @@ class ActivityBuilder:
         runmodel: str = "RUN_AS_THREAD_IN_TM",
         multiplicity: str = "0..*",
         argument_expr: str = "",
+        retries: int = 0,
     ) -> ActionState:
         """A dynamic-invocation action state (paper Fig. 5): worker count
         determined at run time by *argument_expr*, one invocation per
-        argument list the expression yields."""
+        argument list the expression yields.  *retries* as in
+        :meth:`task` (every instance inherits the budget)."""
         state = self.graph.add_action(
             name,
             is_dynamic=True,
@@ -112,6 +114,8 @@ class ActivityBuilder:
             dynamic_arguments=argument_expr,
         )
         CNProfile.apply(state, jar=jar, cls=cls, memory=memory, runmodel=runmodel)
+        if retries:
+            state.set_tag("retries", str(retries))
         return state
 
     def fork(self, name: Optional[str] = None) -> Pseudostate:

@@ -66,9 +66,11 @@ class TestPortalService:
             "client.py",
             "client.java",
             "diagnostics",
+            "faults",
         }
         assert artifacts["xmi"].startswith("<XMI")
         assert json.loads(artifacts["diagnostics"]) == []
+        assert json.loads(artifacts["faults"]) == []
 
 
 class TestPortalHTTP:
