@@ -2,6 +2,7 @@
 shortest path / transitive closure as a CN job."""
 
 from .driver import (
+    ensure_floyd_tasks,
     floyd_registry,
     register_floyd_tasks,
     run_parallel_floyd,
@@ -28,6 +29,7 @@ __all__ = [
     "build_fig3_model",
     "build_fig5_model",
     "register_floyd_tasks",
+    "ensure_floyd_tasks",
     "floyd_registry",
     "run_parallel_floyd",
     "run_parallel_floyd_dynamic",

@@ -33,6 +33,7 @@ from .tasks import TaskSplit, TCJoin, TCTask
 
 __all__ = [
     "register_floyd_tasks",
+    "ensure_floyd_tasks",
     "floyd_registry",
     "run_parallel_floyd",
     "run_parallel_floyd_dynamic",
@@ -52,6 +53,25 @@ def register_floyd_tasks(registry: TaskRegistry) -> TaskRegistry:
     registry.register_class(SPLIT_JAR, SPLIT_CLASS, TaskSplit)
     registry.register_class(WORKER_JAR, WORKER_CLASS, TCTask)
     registry.register_class(JOIN_JAR, JOIN_CLASS, TCJoin)
+    return registry
+
+
+def ensure_floyd_tasks(registry: TaskRegistry) -> TaskRegistry:
+    """Bind only the Fig. 2 references *missing* from *registry* -- a
+    caller-supplied binding (e.g. an instrumented TCTask subclass in the
+    failover tests, or a tuned ``checkpoint_every`` variant in the
+    benchmarks) is left in place."""
+    from repro.cn.errors import TaskLoadError
+
+    for jar, cls_name, impl in (
+        (SPLIT_JAR, SPLIT_CLASS, TaskSplit),
+        (WORKER_JAR, WORKER_CLASS, TCTask),
+        (JOIN_JAR, JOIN_CLASS, TCJoin),
+    ):
+        try:
+            registry.resolve(jar, cls_name)
+        except TaskLoadError:
+            registry.register_class(jar, cls_name, impl)
     return registry
 
 
@@ -118,7 +138,7 @@ def _execute(graph, cluster, transform, timeout, runtime_args, joiner):
     if owns:
         cluster = Cluster(4, registry=floyd_registry())
     else:
-        register_floyd_tasks(cluster.registry)
+        ensure_floyd_tasks(cluster.registry)
     try:
         outcome = pipeline.run(
             graph, cluster, runtime_args=runtime_args, timeout=timeout

@@ -15,7 +15,9 @@ Protocol (all user-defined messages, CN merely delivers them):
 * worker -> other workers:    ``("row", k, row_k)`` -- in step k, the
   task owning row k broadcasts it (paper: "in the kth iteration have
   the task with the kth row broadcast it").
-* worker -> joiner:           ``("result", start, block)``.
+* worker -> joiner:           ``("result", start, block, attempt_epoch)``
+  -- the epoch lets the joiner dedupe replayed deliveries by
+  ``(task, attempt epoch)`` after crash recovery or manager adoption.
 
 Workers discover each other and the joiner from the dependency DAG the
 TaskContext exposes -- no name patterns are assumed, so the same classes
@@ -105,17 +107,46 @@ class TCTask(Task):
     fidelity with the paper's descriptors and used as a sanity check
     against the DAG-derived role; coordination itself relies on the
     roster received from TaskSplit.
+
+    Checkpointing (durability extension): after completing step *k* the
+    worker checkpoints its row block (plus the roster it learned from
+    TaskSplit) through the job journal, so a crashed attempt resumes at
+    step ``k + 1`` instead of from scratch.  ``checkpoint_every``
+    controls the interval: 1 checkpoints every step (default), larger
+    values trade recovery work for journal volume, 0 disables
+    checkpointing entirely (recovery restarts from step 0).
     """
+
+    #: checkpoint after every ``checkpoint_every``-th completed step;
+    #: 0 disables (class attribute so sweeps can tune it per run)
+    checkpoint_every: int = 1
 
     def __init__(self, index: Optional[int] = None) -> None:
         self.index = index
 
+    def _after_step(self, k: int, ctx: TaskContext) -> None:
+        """Instrumentation hook: called after step *k* is fully applied
+        (and checkpointed, if due).  Tests override it to gate or kill
+        attempts at a deterministic point mid-algorithm."""
+
     def run(self, ctx: TaskContext) -> dict:
-        init = ctx.recv_matching(
-            lambda m: m.is_user() and m.payload[0] == "rows", timeout=60.0
-        )
-        _, start, block, n, workers, mode = init.payload
-        block = np.array(block, dtype=float)
+        resumed_from: Optional[int] = None
+        saved = self.restore()
+        if saved is not None:
+            # recovery: resume mid-algorithm from the journaled state --
+            # no need to wait for TaskSplit again
+            start = saved["start"]
+            block = np.array(saved["block"], dtype=float)
+            n, workers, mode = saved["n"], list(saved["workers"]), saved["mode"]
+            first_k = saved["k"] + 1
+            resumed_from = saved["k"]
+        else:
+            init = ctx.recv_matching(
+                lambda m: m.is_user() and m.payload[0] == "rows", timeout=60.0
+            )
+            _, start, block, n, workers, mode = init.payload
+            block = np.array(block, dtype=float)
+            first_k = 0
         me = workers.index(ctx.task_name)
         ranges = partition_rows(n, len(workers))
         my_start, my_end = ranges[me]
@@ -127,9 +158,11 @@ class TCTask(Task):
             # broadcasts (owners skip empty ranges), contributes an empty
             # block so the joiner's bookkeeping stays uniform
             for joiner in ctx.my_dependents():
-                ctx.send(joiner, ("result", my_start, block.copy()))
+                ctx.send(
+                    joiner, ("result", my_start, block.copy(), ctx.attempt_epoch)
+                )
             return {"rows": 0, "start": int(my_start)}
-        for k in range(n):
+        for k in range(first_k, n):
             owner = _owner_of_row(k, ranges)
             if owner == me:
                 row_k = block[k - my_start].copy()
@@ -151,9 +184,26 @@ class TCTask(Task):
                     block[has_k] = np.maximum(block[has_k], (row_k > 0).astype(float))
                 else:
                     np.minimum(block, block[:, k, None] + row_k[None, :], out=block)
+            if self.checkpoint_every and (k + 1) % self.checkpoint_every == 0:
+                self.checkpoint(
+                    {
+                        "k": k,
+                        "start": int(my_start),
+                        "block": block.copy(),
+                        "n": n,
+                        "workers": list(workers),
+                        "mode": mode,
+                    },
+                    tag=k,
+                )
+            self._after_step(k, ctx)
         for joiner in ctx.my_dependents():
-            ctx.send(joiner, ("result", my_start, block.copy()))
-        return {"rows": int(block.shape[0]), "start": int(my_start)}
+            ctx.send(joiner, ("result", my_start, block.copy(), ctx.attempt_epoch))
+        return {
+            "rows": int(block.shape[0]),
+            "start": int(my_start),
+            "resumed_from": resumed_from,
+        }
 
 
 class TCJoin(Task):
@@ -170,22 +220,32 @@ class TCJoin(Task):
 
     def run(self, ctx: TaskContext) -> list[list[float]]:
         workers = sorted(ctx.my_dependencies())
-        pieces: dict[int, np.ndarray] = {}
         expected = len(workers)
-        # one result per worker, keyed by sender: crash recovery replays
-        # message history (at-least-once delivery), so a worker whose
-        # block already arrived may report again -- count each once
-        seen: set[str] = set()
-        while len(seen) < expected:
-            message = ctx.recv_matching(
-                lambda m: m.is_user()
-                and m.payload[0] == "result"
-                and m.sender not in seen,
-                timeout=60.0,
+        # one result per worker, deduped by (task, attempt epoch): crash
+        # recovery replays message history (at-least-once delivery) and
+        # manager adoption can replay a *previous* attempt's result after
+        # a newer attempt already reported -- keep only the contribution
+        # with the highest attempt epoch per worker, counting each once
+        best: dict[str, tuple[int, int, np.ndarray]] = {}
+
+        def fresh(message: Message) -> bool:
+            if not (message.is_user() and message.payload[0] == "result"):
+                return False
+            epoch = message.payload[3] if len(message.payload) > 3 else 0
+            got = best.get(message.sender)
+            return got is None or epoch > got[0]
+
+        while len(best) < expected:
+            message = ctx.recv_matching(fresh, timeout=60.0)
+            payload = message.payload
+            epoch = payload[3] if len(payload) > 3 else 0
+            best[message.sender] = (
+                epoch,
+                payload[1],
+                np.array(payload[2], dtype=float),
             )
-            seen.add(message.sender)
-            _, start, block = message.payload
-            block = np.array(block, dtype=float)
+        pieces: dict[int, np.ndarray] = {}
+        for _epoch, start, block in best.values():
             if block.size:
                 # non-empty blocks have unique starts; surplus workers
                 # (workers > n) all report an empty block at start == n

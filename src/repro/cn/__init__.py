@@ -14,11 +14,23 @@ from .chaos import (
 )
 from .client import ClientResult, ClientRunner, evaluate_arguments, expand_dynamic_tasks
 from .cluster import Cluster
+from .durability import (
+    DirectoryEntry,
+    FileJournal,
+    JobDirectory,
+    JobSnapshot,
+    JournalRecord,
+    MemoryJournal,
+    ReplicatedJournal,
+    journal_factory_for_dir,
+    replay_job,
+)
 from .errors import (
     ArchiveError,
     CnError,
     JobError,
     JobTimeoutError,
+    JournalError,
     MessageTimeout,
     NoWillingJobManager,
     NoWillingTaskManager,
@@ -94,4 +106,14 @@ __all__ = [
     "InjectedFault",
     "VirtualClock",
     "FailureDetector",
+    "JournalRecord",
+    "JournalError",
+    "MemoryJournal",
+    "FileJournal",
+    "ReplicatedJournal",
+    "JobDirectory",
+    "DirectoryEntry",
+    "JobSnapshot",
+    "replay_job",
+    "journal_factory_for_dir",
 ]

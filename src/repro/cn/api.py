@@ -17,11 +17,12 @@ then most local free memory, then name for determinism).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
 from typing import Any, Mapping, Optional
 
 from .cluster import Cluster
-from .errors import NoWillingJobManager
+from .durability import JobDirectory
+from .errors import JobTimeoutError, NoWillingJobManager, ShutdownError
 from .job import Job, TaskSpec
 from .jobmanager import JobManager
 from .messages import Message, MessageType
@@ -30,16 +31,50 @@ from .multicast import Solicitation
 __all__ = ["CNAPI", "JobHandle"]
 
 
-@dataclass
 class JobHandle:
-    """A client's grip on one job: the Job plus its managing JobManager."""
+    """A client's grip on one job: the Job plus its managing JobManager.
 
-    job: Job
-    manager: JobManager
+    Resolution goes through the cluster's :class:`JobDirectory` on every
+    access: if a successor JobManager adopts the job after a manager
+    failure, the handle transparently re-binds to the successor and its
+    rebuilt Job -- client code never notices the failover.
+    """
+
+    def __init__(
+        self,
+        job: Job,
+        manager: JobManager,
+        directory: Optional[JobDirectory] = None,
+    ) -> None:
+        self._job = job
+        self._manager = manager
+        self._directory = directory
+        self._job_id = job.job_id
+
+    def _resolve(self) -> None:
+        if self._directory is None:
+            return
+        entry = self._directory.lookup(self._job_id)
+        if entry is not None:
+            self._manager = entry.manager
+            self._job = entry.job
+
+    @property
+    def job(self) -> Job:
+        self._resolve()
+        return self._job
+
+    @property
+    def manager(self) -> JobManager:
+        self._resolve()
+        return self._manager
 
     @property
     def job_id(self) -> str:
-        return self.job.job_id
+        return self._job_id
+
+    def __repr__(self) -> str:
+        return f"<JobHandle {self._job_id!r} via {self._manager.name!r}>"
 
 
 class CNAPI:
@@ -64,6 +99,8 @@ class CNAPI:
         self,
         client_name: str,
         requirements: Optional[Mapping[str, Any]] = None,
+        *,
+        descriptor: Optional[str] = None,
     ) -> JobHandle:
         """Multicast for willing JobManagers, select one, create the job."""
         requirements = dict(requirements or {})
@@ -88,7 +125,7 @@ class CNAPI:
         )
         node_name = offers[0][0]
         manager = self._cluster.server(node_name).jobmanager
-        job = manager.create_job(client_name)
+        job = manager.create_job(client_name, descriptor=descriptor)
         job.client_queue.put(
             Message(
                 MessageType.JOB_CREATED,
@@ -97,7 +134,7 @@ class CNAPI:
                 payload={"job_id": job.job_id, "manager": manager.name},
             )
         )
-        return JobHandle(job, manager)
+        return JobHandle(job, manager, getattr(self._cluster, "directory", None))
 
     # -- 3. task creation ----------------------------------------------------------
     def create_task(self, handle: JobHandle, spec: TaskSpec) -> None:
@@ -113,10 +150,22 @@ class CNAPI:
 
     # -- 5. messages from tasks ----------------------------------------------------------
     def get_message(self, handle: JobHandle, timeout: Optional[float] = None) -> Message:
-        return handle.job.client_queue.get(timeout)
+        while True:
+            job = handle.job
+            try:
+                return job.client_queue.get(timeout)
+            except ShutdownError:
+                if handle.job is job:
+                    raise  # genuinely shut down, not a failover re-bind
 
     def get_user_message(self, handle: JobHandle, timeout: Optional[float] = None) -> Message:
-        return handle.job.client_queue.get_matching(Message.is_user, timeout)
+        while True:
+            job = handle.job
+            try:
+                return job.client_queue.get_matching(Message.is_user, timeout)
+            except ShutdownError:
+                if handle.job is job:
+                    raise
 
     # -- 6. messages to tasks -----------------------------------------------------------
     def send_message(self, handle: JobHandle, task_name: str, payload: Any) -> None:
@@ -129,8 +178,24 @@ class CNAPI:
         return handle.manager.query_status(handle.job)
 
     def wait(self, handle: JobHandle, timeout: Optional[float] = None) -> dict[str, Any]:
-        """Block until the job finishes; returns task results."""
-        return handle.job.wait(timeout)
+        """Block until the job finishes; returns task results.
+
+        Waits in short slices, re-resolving the handle between them, so a
+        manager failover mid-wait transparently continues on the
+        successor's rebuilt Job instead of blocking on a dead one."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = handle.job
+            if deadline is None:
+                slice_timeout = 0.2
+            else:
+                slice_timeout = min(0.2, deadline - time.monotonic())
+                if slice_timeout <= 0:
+                    raise JobTimeoutError(job.job_id, timeout, job.states())
+            try:
+                return job.wait(slice_timeout)
+            except JobTimeoutError:
+                continue
 
     def cancel(self, handle: JobHandle) -> None:
         handle.manager.cancel_job(handle.job)

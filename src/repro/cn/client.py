@@ -328,6 +328,19 @@ class ClientRunner:
         outcome.job_results = [results_by_index[i] for i in range(len(jobs))]
         return outcome
 
+    def _descriptor_text(self, doc: CnxDocument) -> Optional[str]:
+        """The CNX text for the journal's job-submission record; None when
+        the cluster is non-durable (emitting costs a serialization) or
+        when emission fails (durability must not block submission)."""
+        if not getattr(self.api.cluster, "durable", False):
+            return None
+        try:
+            from ..core.cnx.emitter import emit
+
+            return emit(doc)
+        except Exception:
+            return None
+
     def _submit(
         self, doc: CnxDocument, job: CnxJob, runtime_args: Mapping[str, Any]
     ) -> JobHandle:
@@ -345,6 +358,10 @@ class ClientRunner:
         handle = self.api.create_job(
             doc.client.cls,
             requirements={"tasks": len(specs), "memory": total_memory},
+            # the job submission record carries the CNX descriptor, so a
+            # successor manager replaying the journal can audit what was
+            # submitted (emitted lazily only when the cluster is durable)
+            descriptor=self._descriptor_text(doc),
         )
         for event in degradations:
             handle.job.route(

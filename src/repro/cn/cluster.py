@@ -24,9 +24,15 @@ from __future__ import annotations
 
 import threading
 from contextlib import AbstractContextManager
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from .chaos import ChaosPolicy, ExponentialBackoff, VirtualClock
+from .durability import (
+    JobDirectory,
+    MemoryJournal,
+    ReplicatedJournal,
+    journal_factory_for_dir,
+)
 from .multicast import MulticastBus
 from .registry import TaskRegistry
 from .server import CNServer
@@ -51,6 +57,9 @@ class Cluster(AbstractContextManager):
         failure_k: int = 3,
         tick_period: float = 1.0,
         retry_backoff: Optional[ExponentialBackoff] = None,
+        durable: bool = True,
+        journal_factory: Optional[Callable[[str], MemoryJournal]] = None,
+        journal_dir: Optional[str] = None,
     ) -> None:
         if nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -82,11 +91,30 @@ class Cluster(AbstractContextManager):
         self._tick_lock = threading.RLock()
         self._pumper: Optional[threading.Thread] = None
         self._pumper_stop = threading.Event()
+        #: cluster-wide job_id -> (manager, Job) binding; JobHandles
+        #: resolve through this so failover re-binds clients transparently
+        self.directory = JobDirectory()
+        if journal_dir is not None and journal_factory is None:
+            journal_factory = journal_factory_for_dir(journal_dir)
+        self.durable = durable or journal_factory is not None
         for server in self.servers:
             # chaos-triggered node death goes through the full kill path
             server.taskmanager.crash_hook = (
                 lambda name=server.name: self.kill_node(name)
             )
+            if self.durable:
+                backend = (
+                    journal_factory(server.name)
+                    if journal_factory is not None
+                    else MemoryJournal()
+                )
+                server.attach_durability(
+                    ReplicatedJournal(backend, self.bus, origin=server.name),
+                    self.directory,
+                )
+            else:
+                # directory still wired: handles resolve even non-durably
+                server.jobmanager.directory = self.directory
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> "Cluster":
@@ -105,6 +133,11 @@ class Cluster(AbstractContextManager):
         self.stop_heartbeats()
         for server in self.servers:
             server.shutdown()
+            journal = server.journal
+            if journal is not None:
+                close = getattr(journal.backend, "close", None)
+                if close is not None:
+                    close()  # FileJournal: flush and release the handle
         self._started = False
 
     def __enter__(self) -> "Cluster":

@@ -1,0 +1,458 @@
+"""Durable job state: write-ahead journal, replication, and replay.
+
+PR 2 made *worker* nodes expendable; this module makes the coordinating
+JobManager expendable too.  Every job mutation -- submission (with the
+CNX descriptor), task specs, placements, delivery-ledger entries, state
+transitions, checkpoints -- is appended to a write-ahead **job journal**
+before (or atomically with) taking effect, and each append is replicated
+to every peer CNServer over the existing multicast bus (topic
+``journal``).  When the failure detector declares a manager node dead, a
+deterministic successor replays its replica of the journal into a fresh
+:class:`~repro.cn.job.Job` and adopts the in-flight work (see
+:meth:`JobManager.adopt_job`).
+
+Fencing: each job carries a *manager epoch*, bumped by the adoption
+record.  Journal backends keep a per-job high-water mark and reject any
+record stamped with an older epoch, so a zombie manager (its node
+declared dead but its threads still running) cannot corrupt the log the
+successor now owns.  This extends the per-task attempt-epoch fence of
+PR 2 one level up.
+
+Backends are pluggable: :class:`MemoryJournal` keeps records in-process
+(tests, default), :class:`FileJournal` persists JSONL to disk (payloads
+that are not JSON-serializable -- numpy blocks, :class:`TaskSpec`,
+:class:`Message` -- ride in a pickle/base64 envelope).
+
+:func:`replay_job` is a *pure* function from a record sequence to a
+:class:`JobSnapshot`; determinism of recovery reduces to determinism of
+this function, which the property tests exercise directly.
+"""
+
+from __future__ import annotations
+
+import base64
+import itertools
+import json
+import pickle
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from .errors import JournalError
+from .job import TaskSpec, TaskState
+from .messages import Message
+
+__all__ = [
+    "JournalRecord",
+    "MemoryJournal",
+    "FileJournal",
+    "ReplicatedJournal",
+    "JobDirectory",
+    "DirectoryEntry",
+    "JobSnapshot",
+    "replay_job",
+    "journal_factory_for_dir",
+    "RECORD_KINDS",
+]
+
+#: every record kind the journal understands, in no particular order
+RECORD_KINDS = (
+    "job-created",   # client, manager, descriptor?   -- job submission
+    "job-adopted",   # manager, previous              -- failover fence
+    "task-spec",     # spec (TaskSpec)                -- roster entry
+    "task-placed",   # task, node, epoch              -- placement
+    "task-state",    # task, state, attempts, result?, error?
+    "delivery",      # message (Message)              -- ledger entry
+    "checkpoint",    # task, tag, state               -- application state
+    "job-finished",  # failed (bool)
+)
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One append-only journal entry.
+
+    ``seq`` orders records from one origin; ``mepoch`` is the manager
+    epoch the writer believed it held -- the fencing token.  ``data`` is
+    kind-specific (see :data:`RECORD_KINDS`).
+    """
+
+    seq: int
+    job_id: str
+    kind: str
+    mepoch: int
+    origin: str
+    data: dict = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        """Bus-transportable form (in-process: objects pass by reference)."""
+        return {
+            "seq": self.seq,
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "mepoch": self.mepoch,
+            "origin": self.origin,
+            "data": self.data,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "JournalRecord":
+        return cls(
+            seq=payload["seq"],
+            job_id=payload["job_id"],
+            kind=payload["kind"],
+            mepoch=payload["mepoch"],
+            origin=payload["origin"],
+            data=payload.get("data") or {},
+        )
+
+
+class MemoryJournal:
+    """In-process append-only journal with manager-epoch fencing.
+
+    The base backend: keeps everything in a list, no serialization.
+    Subclasses add persistence by overriding :meth:`_persist`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._records: list[JournalRecord] = []
+        self._high_water: dict[str, int] = {}
+        #: records rejected by the epoch fence (zombie-manager writes)
+        self.fenced: list[JournalRecord] = []
+
+    def append(self, record: JournalRecord) -> bool:
+        """Append unless fenced; returns whether the record was accepted.
+
+        A record stamped with a manager epoch older than the job's
+        high-water mark is a zombie write and is dropped (but kept on
+        :attr:`fenced` for observability)."""
+        with self._lock:
+            high = self._high_water.get(record.job_id, 0)
+            if record.mepoch < high:
+                self.fenced.append(record)
+                return False
+            self._high_water[record.job_id] = max(high, record.mepoch)
+            self._records.append(record)
+            self._persist(record)
+            return True
+
+    def records(self, job_id: Optional[str] = None) -> list[JournalRecord]:
+        with self._lock:
+            if job_id is None:
+                return list(self._records)
+            return [r for r in self._records if r.job_id == job_id]
+
+    def job_ids(self) -> list[str]:
+        with self._lock:
+            seen: dict[str, None] = {}
+            for record in self._records:
+                seen.setdefault(record.job_id, None)
+            return list(seen)
+
+    def manager_epoch(self, job_id: str) -> int:
+        """The fencing high-water mark for *job_id* (0 if never seen)."""
+        with self._lock:
+            return self._high_water.get(job_id, 0)
+
+    def _persist(self, record: JournalRecord) -> None:
+        """Hook for durable backends; the lock is held."""
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+def _encode_data(data: dict) -> dict:
+    """JSON when possible; otherwise a pickle/base64 envelope (numpy
+    blocks, TaskSpec, Message payloads)."""
+    try:
+        json.dumps(data)
+        return data
+    except (TypeError, ValueError):
+        blob = pickle.dumps(data, protocol=pickle.HIGHEST_PROTOCOL)
+        return {"__pickled__": base64.b64encode(blob).decode("ascii")}
+
+
+def _decode_data(data: dict) -> dict:
+    if isinstance(data, dict) and set(data) == {"__pickled__"}:
+        return pickle.loads(base64.b64decode(data["__pickled__"]))
+    return data
+
+
+class FileJournal(MemoryJournal):
+    """JSONL-on-disk journal: one JSON object per line, append-only.
+
+    Existing records are loaded on construction, so a restarted server
+    resumes with its journal intact (fencing state is rebuilt too).
+    """
+
+    def __init__(self, path: str) -> None:
+        super().__init__()
+        self.path = path
+        self._fh = None  # not writing yet: loads must not re-persist
+        try:
+            with open(path, encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    raw = json.loads(line)
+                    raw["data"] = _decode_data(raw.get("data") or {})
+                    # re-run the fence so a tampered/merged file cannot
+                    # smuggle stale-epoch records back in
+                    super().append(JournalRecord.from_payload(raw))
+        except FileNotFoundError:
+            pass
+        except (json.JSONDecodeError, KeyError, OSError) as exc:
+            raise JournalError(f"corrupt journal file {path!r}: {exc}") from exc
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def _persist(self, record: JournalRecord) -> None:
+        if self._fh is None:
+            return  # constructor replaying the existing file
+        payload = record.to_payload()
+        payload["data"] = _encode_data(payload["data"])
+        try:
+            self._fh.write(json.dumps(payload) + "\n")
+            self._fh.flush()
+        except (OSError, ValueError) as exc:
+            raise JournalError(
+                f"cannot append to journal {self.path!r}: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+
+
+class ReplicatedJournal:
+    """A node's journal writer: local append + multicast replication.
+
+    Appends go to the local backend first (write-ahead), then one bus
+    publish on topic ``journal`` fans the record out; every peer
+    CNServer feeds it into its own backend via :meth:`receive`.  The
+    lock is held across append+publish so all replicas see one job's
+    records in the same order (each job has a single writer per manager
+    epoch, so this is enough for per-job total order).
+    """
+
+    def __init__(
+        self,
+        backend: Optional[MemoryJournal] = None,
+        bus: Optional[Any] = None,
+        origin: str = "",
+    ) -> None:
+        self.backend = backend if backend is not None else MemoryJournal()
+        self.bus = bus
+        self.origin = origin
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def append(
+        self, job_id: str, kind: str, data: dict, mepoch: int = 1
+    ) -> Optional[JournalRecord]:
+        """Journal one event; returns the record, or None if fenced."""
+        with self._lock:
+            record = JournalRecord(
+                seq=next(self._seq),
+                job_id=job_id,
+                kind=kind,
+                mepoch=mepoch,
+                origin=self.origin,
+                data=dict(data),
+            )
+            if not self.backend.append(record):
+                return None
+            if self.bus is not None:
+                self.bus.publish("journal", record.to_payload(), sender=self.origin)
+            return record
+
+    def receive(self, payload: dict) -> bool:
+        """A replica arrived on the bus; returns whether it was accepted
+        (own-origin records already applied locally are skipped)."""
+        record = JournalRecord.from_payload(payload)
+        if record.origin == self.origin:
+            return False
+        return self.backend.append(record)
+
+    def records(self, job_id: Optional[str] = None) -> list[JournalRecord]:
+        return self.backend.records(job_id)
+
+    def jobs_managed_by(
+        self, manager: str, *, unfinished_only: bool = True
+    ) -> list[str]:
+        """Job ids whose *current* manager (after any adoptions) is
+        *manager*; with ``unfinished_only`` jobs with a job-finished
+        record at the current epoch are excluded."""
+        owner: dict[str, tuple[int, str]] = {}
+        finished: dict[str, int] = {}
+        for record in self.backend.records():
+            if record.kind in ("job-created", "job-adopted"):
+                best = owner.get(record.job_id, (0, ""))
+                if record.mepoch >= best[0]:
+                    owner[record.job_id] = (
+                        record.mepoch,
+                        record.data.get("manager", ""),
+                    )
+            elif record.kind == "job-finished":
+                finished[record.job_id] = max(
+                    finished.get(record.job_id, 0), record.mepoch
+                )
+        out = []
+        for job_id, (epoch, who) in owner.items():
+            if who != manager:
+                continue
+            if unfinished_only and finished.get(job_id, 0) >= epoch:
+                continue
+            out.append(job_id)
+        return sorted(out)
+
+
+@dataclass(frozen=True)
+class DirectoryEntry:
+    """Current binding of one job id: who manages it, which Job object."""
+
+    manager: Any  # JobManager (untyped to avoid an import cycle)
+    job: Any      # Job
+    epoch: int = 1
+
+
+class JobDirectory:
+    """Cluster-wide job_id -> (manager, Job) map.
+
+    Client-side :class:`~repro.cn.api.JobHandle` objects resolve through
+    the directory on every access, so when a successor adopts a job and
+    re-registers it, existing handles transparently re-bind -- the
+    client never learns its manager died.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, DirectoryEntry] = {}
+        self._lock = threading.Lock()
+
+    def register(self, job_id: str, manager: Any, job: Any, epoch: int = 1) -> None:
+        with self._lock:
+            current = self._entries.get(job_id)
+            if current is not None and current.epoch > epoch:
+                return  # a zombie manager cannot re-claim an adopted job
+            self._entries[job_id] = DirectoryEntry(manager, job, epoch)
+
+    def lookup(self, job_id: str) -> Optional[DirectoryEntry]:
+        with self._lock:
+            return self._entries.get(job_id)
+
+    def job_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+
+@dataclass
+class JobSnapshot:
+    """The state :func:`replay_job` reconstructs from a journal."""
+
+    job_id: str
+    client: str = ""
+    manager: str = ""
+    mepoch: int = 1
+    descriptor: Optional[str] = None
+    specs: dict[str, TaskSpec] = field(default_factory=dict)
+    order: list[str] = field(default_factory=list)
+    states: dict[str, str] = field(default_factory=dict)
+    results: dict[str, Any] = field(default_factory=dict)
+    errors: dict[str, str] = field(default_factory=dict)
+    attempts: dict[str, int] = field(default_factory=dict)
+    epochs: dict[str, int] = field(default_factory=dict)
+    nodes: dict[str, str] = field(default_factory=dict)
+    deliveries: dict[str, list[Message]] = field(default_factory=dict)
+    checkpoints: dict[str, tuple[Any, Any]] = field(default_factory=dict)
+    finished: bool = False
+    failed: bool = False
+
+    def terminal_tasks(self) -> list[str]:
+        return [
+            name
+            for name in self.order
+            if TaskState(self.states.get(name, "PENDING")).terminal
+        ]
+
+    def pending_tasks(self) -> list[str]:
+        """Tasks a successor must re-place: everything not terminal."""
+        return [name for name in self.order if name not in self.terminal_tasks()]
+
+
+def replay_job(job_id: str, records: Iterable[JournalRecord]) -> JobSnapshot:
+    """Fold a journal into a :class:`JobSnapshot` -- pure and total.
+
+    Records for other jobs are skipped; records stamped with a stale
+    manager epoch are ignored (the same fence the backends apply, so
+    replaying an unfenced raw sequence gives the same snapshot as the
+    fenced journal).  Later records win: states and checkpoints are
+    last-writer, placements keep the highest attempt epoch, deliveries
+    accumulate in order.
+    """
+    snapshot = JobSnapshot(job_id=job_id)
+    high = 0
+    for record in records:
+        if record.job_id != job_id:
+            continue
+        if record.mepoch < high:
+            continue
+        high = max(high, record.mepoch)
+        snapshot.mepoch = high
+        kind, data = record.kind, record.data
+        if kind == "job-created":
+            snapshot.client = data.get("client", snapshot.client)
+            snapshot.manager = data.get("manager", snapshot.manager)
+            snapshot.descriptor = data.get("descriptor", snapshot.descriptor)
+        elif kind == "job-adopted":
+            snapshot.manager = data.get("manager", snapshot.manager)
+        elif kind == "task-spec":
+            spec = data["spec"]
+            if spec.name not in snapshot.specs:
+                snapshot.order.append(spec.name)
+            snapshot.specs[spec.name] = spec
+            snapshot.states.setdefault(spec.name, TaskState.PENDING.value)
+        elif kind == "task-placed":
+            task = data["task"]
+            snapshot.nodes[task] = data.get("node")
+            snapshot.epochs[task] = max(
+                snapshot.epochs.get(task, 0), int(data.get("epoch", 0))
+            )
+        elif kind == "task-state":
+            task = data["task"]
+            snapshot.states[task] = data.get("state", TaskState.PENDING.value)
+            snapshot.attempts[task] = max(
+                snapshot.attempts.get(task, 0), int(data.get("attempts", 0))
+            )
+            if "result" in data:
+                snapshot.results[task] = data["result"]
+            if data.get("error"):
+                snapshot.errors[task] = data["error"]
+        elif kind == "delivery":
+            message = data["message"]
+            snapshot.deliveries.setdefault(message.recipient, []).append(message)
+        elif kind == "checkpoint":
+            snapshot.checkpoints[data["task"]] = (data.get("tag"), data.get("state"))
+        elif kind == "job-finished":
+            snapshot.finished = True
+            snapshot.failed = bool(data.get("failed"))
+    return snapshot
+
+
+def journal_factory_for_dir(
+    directory: str,
+) -> Callable[[str], FileJournal]:
+    """A per-node :class:`FileJournal` factory writing ``<node>.jsonl``
+    under *directory* (convenience for ``Cluster(journal_dir=...)``)."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+
+    def factory(node: str) -> FileJournal:
+        return FileJournal(os.path.join(directory, f"{node}.jsonl"))
+
+    return factory

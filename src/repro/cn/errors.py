@@ -14,6 +14,7 @@ __all__ = [
     "UnknownTaskError",
     "MessageTimeout",
     "ShutdownError",
+    "JournalError",
 ]
 
 
@@ -83,3 +84,7 @@ class MessageTimeout(CnError):
 
 class ShutdownError(CnError):
     """Operation attempted on a component that has been shut down."""
+
+
+class JournalError(CnError):
+    """The durable job journal could not be read or written."""

@@ -137,6 +137,52 @@ class Job:
         # replayed into the fresh queue when a task is re-placed after a
         # crash so restarted attempts see the full message history
         self._delivery_log: dict[str, list[Message]] = {}
+        #: manager epoch: bumped when a successor JobManager adopts this
+        #: job after a failover; stamps every journal record so a zombie
+        #: manager's late writes are fenced out (see repro.cn.durability)
+        self.manager_epoch = 1
+        # write-ahead journal hook, set by the managing JobManager:
+        # (kind, data) -> None.  None when the cluster runs non-durable.
+        self._journal: Optional[Any] = None
+        # application-level task checkpoints (task -> (tag, state)),
+        # populated through TaskContext.checkpoint and restored from the
+        # journal on adoption
+        self._checkpoints: dict[str, tuple[Any, Any]] = {}
+
+    # -- durability ----------------------------------------------------------------
+    def set_journal(self, hook: Optional[Any]) -> None:
+        """Attach the write-ahead journal hook ``(kind, data) -> None``."""
+        self._journal = hook
+
+    def journal_event(self, kind: str, data: dict) -> None:
+        """Append one record to the job journal (no-op when non-durable)."""
+        hook = self._journal
+        if hook is not None:
+            hook(kind, data)
+
+    def save_checkpoint(self, task: str, state: Any, tag: Any = None) -> None:
+        """Persist an application checkpoint for *task* through the
+        journal; a later attempt (same or successor manager) restores it
+        via :meth:`load_checkpoint`."""
+        with self._lock:
+            self._checkpoints[task] = (tag, state)
+        self.journal_event("checkpoint", {"task": task, "tag": tag, "state": state})
+
+    def load_checkpoint(self, task: str) -> Optional[tuple[Any, Any]]:
+        """The latest ``(tag, state)`` checkpoint for *task*, or None."""
+        with self._lock:
+            return self._checkpoints.get(task)
+
+    def restore_checkpoints(self, checkpoints: dict[str, tuple[Any, Any]]) -> None:
+        """Seed the checkpoint store from a journal replay (adoption)."""
+        with self._lock:
+            self._checkpoints.update(checkpoints)
+
+    def restore_deliveries(self, deliveries: dict[str, list[Message]]) -> None:
+        """Seed the delivery ledger from a journal replay (adoption)."""
+        with self._lock:
+            for task, messages in deliveries.items():
+                self._delivery_log.setdefault(task, []).extend(messages)
 
     # -- roster ----------------------------------------------------------------
     def add_task(self, spec: TaskSpec) -> TaskRuntime:
@@ -213,6 +259,10 @@ class Job:
             )
         with self._lock:
             self._delivery_log.setdefault(message.recipient, []).append(message)
+        # write-ahead: the ledger entry is journaled (and replicated to
+        # peer managers) before the queue delivery, so a successor's
+        # replay sees every message a restarted attempt may need
+        self.journal_event("delivery", {"message": message})
         try:
             runtime.queue.put(message)
         except ShutdownError:

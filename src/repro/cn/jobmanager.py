@@ -33,6 +33,7 @@ import time
 from typing import Callable, Iterable, Optional
 
 from .chaos import ExponentialBackoff
+from .durability import JobDirectory, ReplicatedJournal, replay_job
 from .errors import CnError, NoWillingTaskManager, ShutdownError, UnknownTaskError
 from .job import Job, TaskRuntime, TaskSpec, TaskState
 from .messages import Message, MessageType
@@ -144,6 +145,12 @@ class JobManager:
         self._sleeper = sleeper if sleeper is not None else time.sleep
         #: nodes this manager has declared dead and recovered from
         self.failed_nodes: list[str] = []
+        #: write-ahead job journal (replicated); None = non-durable mode
+        self.journal: Optional[ReplicatedJournal] = None
+        #: cluster-wide job_id -> (manager, Job) map for client re-binding
+        self.directory: Optional[JobDirectory] = None
+        #: jobs this manager adopted from dead peers (failover audit trail)
+        self.adopted_jobs: list[str] = []
 
     # -- discovery ---------------------------------------------------------
     def willing_to_manage(self, solicitation: Solicitation) -> Optional[dict]:
@@ -217,9 +224,148 @@ class JobManager:
                 ),
             )
             self._recover(job, orphans, reason="node-failure")
+        # manager failover: if the dead node was itself managing jobs,
+        # the deterministic successor (this manager, if lowest-ranked
+        # survivor) adopts them by replaying the replicated journal
+        self._adopt_from(node)
+
+    # -- manager failover --------------------------------------------------------
+    def _is_successor(self, dead_base: str) -> bool:
+        """Deterministic successor election, no extra protocol: every
+        survivor ranks the surviving node base-names and the lowest one
+        adopts.  All detectors see the same dead set (same heartbeats,
+        same K), so exactly one manager elects itself."""
+        my_base = self.name.split("/")[0]
+        with self._lock:
+            watched = list(self._taskmanagers)
+        dead = {n.split("/")[0] for n in self.failure_detector.dead_nodes()}
+        dead.add(dead_base)
+        if my_base in dead:
+            return False
+        survivors = {n.split("/")[0] for n in watched} - dead
+        survivors.add(my_base)
+        return min(sorted(survivors)) == my_base
+
+    def _adopt_from(self, node: str) -> list[str]:
+        """Adopt every in-flight job the dead *node*'s JobManager was
+        managing (according to the replicated journal), if this manager
+        is the elected successor.  Returns the adopted job ids."""
+        if self.journal is None:
+            return []
+        dead_base = node.split("/")[0]
+        if not self._is_successor(dead_base):
+            return []
+        adopted: list[str] = []
+        for job_id in self.journal.jobs_managed_by(f"{dead_base}/jm"):
+            with self._lock:
+                if self._shutdown or job_id in self.jobs:
+                    continue
+            try:
+                self.adopt_job(job_id)
+            except CnError:
+                continue  # placement wholesale failure; job marked failed
+            adopted.append(job_id)
+        return adopted
+
+    def adopt_job(self, job_id: str) -> Job:
+        """Take over *job_id* from a dead manager: replay the journal into
+        a fresh Job, fence the dead manager with a bumped manager epoch,
+        evict its zombie hostings, re-place the unfinished tasks (message
+        ledger replayed, checkpoints restored), and re-bind the client's
+        handle through the directory."""
+        journal = self.journal
+        if journal is None:
+            raise CnError(f"JobManager {self.name!r} has no journal to replay")
+        snapshot = replay_job(job_id, journal.records(job_id))
+        job = Job(job_id, snapshot.client)
+        job.manager_epoch = snapshot.mepoch + 1
+        with self._lock:
+            if self._shutdown:
+                raise CnError(f"JobManager {self.name!r} is shut down")
+            self.jobs[job_id] = job
+            self.adopted_jobs.append(job_id)
+        self._bind_journal(job)
+        # fence first: once this record lands, any append still stamped
+        # with the dead manager's epoch is rejected by every backend
+        job.journal_event(
+            "job-adopted", {"manager": self.name, "previous": snapshot.manager}
+        )
+        # rebuild the roster exactly as journaled
+        for name in snapshot.order:
+            runtime = job.add_task(snapshot.specs[name])
+            runtime.attempts = snapshot.attempts.get(name, 0)
+            # restoring the highest journaled placement epoch guarantees
+            # re-hosted attempts get strictly larger epochs than any
+            # zombie attempt still running somewhere
+            runtime.epoch = snapshot.epochs.get(name, 0)
+            runtime.node_name = snapshot.nodes.get(name)
+            state = TaskState(snapshot.states.get(name, TaskState.PENDING.value))
+            if state.terminal:
+                runtime.state = state
+                runtime.result = snapshot.results.get(name)
+                runtime.error = snapshot.errors.get(name)
+        job.restore_deliveries(snapshot.deliveries)
+        job.restore_checkpoints(snapshot.checkpoints)
+        # migrate the client conduit: drain the dead manager's client
+        # queue into the new job's (trace history survives), close the
+        # old one so zombie notifications surface as undeliverable
+        old_entry = self.directory.lookup(job_id) if self.directory else None
+        if old_entry is not None and old_entry.job is not job:
+            for message in old_entry.job.client_queue.drain():
+                job.client_queue.put(message)
+            old_entry.job.client_queue.close()
+        if self.directory is not None:
+            self.directory.register(job_id, self, job, epoch=job.manager_epoch)
+        pending = [job.tasks[name] for name in snapshot.pending_tasks()]
+        self._route_safe(
+            job,
+            Message(
+                MessageType.MANAGER_ADOPTED,
+                sender=self.name,
+                recipient="client",
+                payload={
+                    "job_id": job_id,
+                    "manager": self.name,
+                    "previous": snapshot.manager,
+                    "manager_epoch": job.manager_epoch,
+                    "replayed_records": len(journal.records(job_id)),
+                    "re_placing": [rt.name for rt in pending],
+                },
+            ),
+        )
+        # terminal tasks are already done; let the job notice them so a
+        # fully-finished roster flips the finished event immediately
+        for name in snapshot.terminal_tasks():
+            job.note_terminal(name)
+        # the dead manager may have placed attempts on nodes that are
+        # still alive: evict them so the epoch fence retires them
+        with self._lock:
+            taskmanagers = list(self._taskmanagers.values())
+        for tm in taskmanagers:
+            if not tm.crashed:
+                tm.evict_job(job_id)
+        if self.local_taskmanager is not None and not self.local_taskmanager.crashed:
+            self.local_taskmanager.evict_job(job_id)
+        self._recover(job, pending, reason="adoption")
+        return job
+
+    # -- durability helpers ------------------------------------------------------
+    def _bind_journal(self, job: Job) -> None:
+        """Attach this manager's replicated journal to *job*: every event
+        the job emits is stamped with the job's current manager epoch."""
+        journal = self.journal
+        if journal is None:
+            return
+        job.set_journal(
+            lambda kind, data: journal.append(
+                job.job_id, kind, data, job.manager_epoch
+            )
+        )
 
     # -- job lifecycle -----------------------------------------------------------
-    def create_job(self, client_name: str) -> Job:
+    def create_job(
+        self, client_name: str, *, descriptor: Optional[str] = None
+    ) -> Job:
         with self._lock:
             if self._shutdown:
                 raise CnError(f"JobManager {self.name!r} is shut down")
@@ -227,11 +373,21 @@ class JobManager:
             job_id = f"{self.name}-job{self._job_counter}"
             job = Job(job_id, client_name)
             self.jobs[job_id] = job
-            return job
+        self._bind_journal(job)
+        job.journal_event(
+            "job-created",
+            {"client": client_name, "manager": self.name, "descriptor": descriptor},
+        )
+        if self.directory is not None:
+            self.directory.register(job_id, self, job, epoch=job.manager_epoch)
+        return job
 
     def create_task(self, job: Job, spec: TaskSpec) -> TaskRuntime:
         """Place one task: solicit TaskManagers, upload, create queue."""
         runtime = job.add_task(spec)
+        # write-ahead: the spec is journaled before placement, so a
+        # successor knows the full roster even if we die mid-placement
+        job.journal_event("task-spec", {"spec": spec})
         self._place(job, runtime)
         job.route(
             Message(
@@ -249,6 +405,10 @@ class JobManager:
             # coordinator-style task runs on this servant's own TM
             task_class = self.registry.resolve(spec.jar, spec.cls)
             self.local_taskmanager.host_task(job, runtime, task_class)
+            job.journal_event(
+                "task-placed",
+                {"task": spec.name, "node": runtime.node_name, "epoch": runtime.epoch},
+            )
             return
         offers = self.bus.solicit(
             Solicitation(
@@ -280,6 +440,10 @@ class JobManager:
             )
         task_class = self.registry.resolve(spec.jar, spec.cls)  # "upload the JAR"
         tm.host_task(job, runtime, task_class)
+        job.journal_event(
+            "task-placed",
+            {"task": spec.name, "node": runtime.node_name, "epoch": runtime.epoch},
+        )
 
     # -- starting & DAG driving ------------------------------------------------------
     def start_task(self, job: Job, name: str, *, claim_only: bool = False) -> bool:
@@ -316,7 +480,26 @@ class JobManager:
             # may have started this one a moment ago
             self.start_task(job, runtime.name, claim_only=True)
 
+    def _journal_task_state(self, job: Job, runtime: TaskRuntime) -> None:
+        data: dict = {
+            "task": runtime.name,
+            "state": runtime.state.value,
+            "attempts": runtime.attempts,
+        }
+        if runtime.state is TaskState.COMPLETED:
+            data["result"] = runtime.result
+        if runtime.error:
+            data["error"] = runtime.error
+        job.journal_event("task-state", data)
+        # computed from the roster, not job.finished: the journal write must
+        # land before note_terminal flips the finished event (write-ahead --
+        # a woken client may tear the cluster down immediately)
+        failed = job.failed is not None or runtime.state is TaskState.FAILED
+        if failed or all(t.state.terminal for t in job.tasks.values()):
+            job.journal_event("job-finished", {"failed": failed})
+
     def _on_terminal(self, job: Job, finished: TaskRuntime) -> None:
+        self._journal_task_state(job, finished)
         if finished.state is TaskState.RETRYING:
             self._retry(job, finished)
             return
@@ -375,6 +558,7 @@ class JobManager:
                         payload={"task": runtime.name, "error": runtime.error},
                     ),
                 )
+                self._journal_task_state(job, runtime)
                 job.note_terminal(runtime.name)
                 continue
             job.replay_into(runtime.name)

@@ -50,6 +50,11 @@ class MessageType:
     # worker multiplicity to fit degraded cluster capacity
     NODE_FAILED = "NODE_FAILED"
     JOB_DEGRADED = "JOB_DEGRADED"
+    # durability notifications (repository extension): a successor
+    # JobManager adopted the job after its manager died / a task attempt
+    # resumed from an application checkpoint instead of from scratch
+    MANAGER_ADOPTED = "MANAGER_ADOPTED"
+    TASK_RESUMED = "TASK_RESUMED"
 
     # application-defined payloads; CN is a pure delivery mechanism
     USER = "USER"
@@ -97,6 +102,8 @@ def is_well_defined(message_type: str) -> bool:
         MessageType.JOB_FAILED,
         MessageType.NODE_FAILED,
         MessageType.JOB_DEGRADED,
+        MessageType.MANAGER_ADOPTED,
+        MessageType.TASK_RESUMED,
     }
 
 

@@ -54,6 +54,9 @@ class Submission:
     #: chaos faults injected while this submission ran (dicts, see
     #: FaultRecord.to_dict); empty when the cluster has no chaos policy
     fault_events: list[dict[str, Any]] = field(default_factory=list)
+    #: manager-failover adoptions recorded in the replicated job journal
+    #: while this submission ran (job_id, successor, previous, epoch)
+    failover_events: list[dict[str, Any]] = field(default_factory=list)
 
     def artifacts(self) -> dict[str, str]:
         return {
@@ -63,6 +66,7 @@ class Submission:
             "client.java": self.java_source,
             "diagnostics": json.dumps(self.diagnostics, indent=2),
             "faults": json.dumps(self.fault_events, indent=2),
+            "failovers": json.dumps(self.failover_events, indent=2),
         }
 
     def summary(self) -> dict[str, Any]:
@@ -73,6 +77,7 @@ class Submission:
             "error": self.error.splitlines()[-1] if self.error else "",
             "diagnostics": len(self.diagnostics),
             "faults": len(self.fault_events),
+            "failovers": len(self.failover_events),
         }
 
 
@@ -114,6 +119,7 @@ class Portal:
             self._submissions[submission.submission_id] = submission
         chaos = self.cluster.chaos
         faults_before = len(chaos.log_dicts()) if chaos is not None else 0
+        adoptions_before = len(self._adoptions())
         try:
             from repro.core.xmi.reader import read_model
 
@@ -139,12 +145,37 @@ class Portal:
             submission.status = "done"
             if chaos is not None:
                 submission.fault_events = chaos.log_dicts()[faults_before:]
+            submission.failover_events = self._adoptions()[adoptions_before:]
         except Exception:
             submission.status = "failed"
             submission.error = traceback.format_exc()
             if chaos is not None:
                 submission.fault_events = chaos.log_dicts()[faults_before:]
+            submission.failover_events = self._adoptions()[adoptions_before:]
         return submission
+
+    def _adoptions(self) -> list[dict[str, Any]]:
+        """All manager-failover adoptions visible in the cluster's
+        replicated journals, deduped (every live node holds a replica of
+        each record) and ordered by (job, epoch)."""
+        seen: dict[tuple[str, int], dict[str, Any]] = {}
+        for server in self.cluster.servers:
+            journal = getattr(server, "journal", None)
+            if journal is None:
+                continue
+            for record in journal.records():
+                if record.kind != "job-adopted":
+                    continue
+                seen.setdefault(
+                    (record.job_id, record.mepoch),
+                    {
+                        "job_id": record.job_id,
+                        "manager": record.data.get("manager"),
+                        "previous": record.data.get("previous"),
+                        "manager_epoch": record.mepoch,
+                    },
+                )
+        return [seen[key] for key in sorted(seen)]
 
     def _analyze(self, model):
         """Run the static analyzer over the model before the pipeline,

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 from .chaos import ChaosPolicy, VirtualClock
+from .durability import JobDirectory, ReplicatedJournal
 from .jobmanager import JobManager
 from .multicast import MulticastBus, Solicitation
 from .registry import TaskRegistry
@@ -67,6 +68,20 @@ class CNServer:
             retry_backoff=retry_backoff,
         )
         self._subscribed = False
+        #: this node's replica of the write-ahead job journal (durability
+        #: extension); None until the Cluster attaches one
+        self.journal: Optional[ReplicatedJournal] = None
+
+    # -- durability ------------------------------------------------------------
+    def attach_durability(
+        self, journal: ReplicatedJournal, directory: JobDirectory
+    ) -> None:
+        """Wire the write-ahead journal and the cluster job directory into
+        this node's JobManager; journal replicas arriving on the bus are
+        folded into the local backend by :meth:`_on_event`."""
+        self.journal = journal
+        self.jobmanager.journal = journal
+        self.jobmanager.directory = directory
 
     # -- bus integration ------------------------------------------------------
     def start(self) -> None:
@@ -100,11 +115,16 @@ class CNServer:
         return None
 
     def _on_event(self, topic: str, payload: dict) -> None:
-        """Bus event listener: feed heartbeats to the failure detector."""
+        """Bus event listener: feed heartbeats to the failure detector and
+        journal replicas into the local journal backend."""
         if topic == "heartbeat":
             node = payload.get("node")
             if node:
                 self.jobmanager.on_heartbeat(node)
+        elif topic == "journal":
+            journal = self.journal
+            if journal is not None:
+                journal.receive(payload)
 
     def connect_peer(self, peer: "CNServer") -> None:
         """Allow this node's JobManager to upload tasks to *peer*'s TM."""

@@ -37,12 +37,30 @@ class Task(abc.ABC):
     in the TASK_COMPLETED message and stored on the job.
     """
 
+    #: the running attempt's context, set by the TaskManager just before
+    #: ``run``; lets :meth:`checkpoint`/:meth:`restore` work without the
+    #: task threading its context everywhere
+    _ctx: Optional["TaskContext"] = None
+
     @abc.abstractmethod
     def run(self, ctx: "TaskContext") -> Any:
         """Execute the unit of work; the return value is the task result."""
 
     def on_cancel(self) -> None:  # pragma: no cover - cooperative hook
         """Called when the task is cancelled; override for cleanup."""
+
+    # -- checkpoint API (durability extension) ---------------------------------
+    def checkpoint(self, state: Any, tag: Any = None) -> bool:
+        """Persist *state* through the job journal so a restarted attempt
+        can pick up mid-algorithm.  Returns False when the cluster runs
+        without durability (the call is then a no-op)."""
+        return self._ctx.checkpoint(state, tag) if self._ctx is not None else False
+
+    def restore(self) -> Any:
+        """The latest checkpointed state for this task, or None.  Call at
+        the top of :meth:`run`; a non-None return means this attempt is a
+        recovery and should resume instead of starting from scratch."""
+        return self._ctx.restore() if self._ctx is not None else None
 
 
 class FunctionTask(Task):
@@ -78,6 +96,10 @@ class TaskContext:
         tuple_space: TupleSpace,
         params: Sequence[Any] = (),
         dependencies: Optional[dict[str, tuple[str, ...]]] = None,
+        attempt_epoch: int = 0,
+        manager_epoch: int = 1,
+        checkpoint_save: Optional[Callable[[Any, Any], None]] = None,
+        checkpoint_load: Optional[Callable[[], Optional[tuple[Any, Any]]]] = None,
     ) -> None:
         self.task_name = task_name
         self.job_id = job_id
@@ -91,6 +113,14 @@ class TaskContext:
         # job-wide dependency map (task -> its depends), letting tasks
         # discover their role in the DAG without naming conventions
         self.dependencies = dict(dependencies or {})
+        #: this attempt's placement epoch -- strictly increasing across
+        #: re-placements (and across manager adoptions), so receivers can
+        #: prefer the newest attempt's messages when replay duplicates them
+        self.attempt_epoch = attempt_epoch
+        #: the managing JobManager's fencing epoch (bumped on adoption)
+        self.manager_epoch = manager_epoch
+        self._checkpoint_save = checkpoint_save
+        self._checkpoint_load = checkpoint_load
 
     # -- DAG introspection ------------------------------------------------------
     def my_dependencies(self) -> list[str]:
@@ -137,6 +167,43 @@ class TaskContext:
 
     def pending(self) -> int:
         return len(self._queue)
+
+    # -- checkpointing (durability extension) --------------------------------
+    def checkpoint(self, state: Any, tag: Any = None) -> bool:
+        """Persist application *state* through the job journal (replicated
+        to peer managers).  Returns False -- and does nothing -- when the
+        cluster runs without durability."""
+        if self._checkpoint_save is None:
+            return False
+        self._checkpoint_save(state, tag)
+        return True
+
+    def restore(self) -> Any:
+        """Load this task's latest checkpointed state, or None.
+
+        A successful restore also routes a TASK_RESUMED notification to
+        the client, so traces can verify that recovery resumed from the
+        checkpoint rather than re-running from scratch."""
+        if self._checkpoint_load is None:
+            return None
+        found = self._checkpoint_load()
+        if found is None:
+            return None
+        tag, state = found
+        self._route(
+            Message(
+                MessageType.TASK_RESUMED,
+                sender=self.task_name,
+                recipient="client",
+                payload={
+                    "task": self.task_name,
+                    "node": self.node_name,
+                    "tag": tag,
+                    "attempt_epoch": self.attempt_epoch,
+                },
+            )
+        )
+        return state
 
     def __repr__(self) -> str:
         return f"<TaskContext {self.task_name!r} on {self.node_name!r}>"

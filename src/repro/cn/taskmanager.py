@@ -264,6 +264,12 @@ class TaskManager:
             dependencies={
                 name: job.tasks[name].spec.depends for name in job.task_names()
             },
+            attempt_epoch=hosted.epoch,
+            manager_epoch=job.manager_epoch,
+            checkpoint_save=lambda state, tag=None: job.save_checkpoint(
+                runtime.name, state, tag
+            ),
+            checkpoint_load=lambda: job.load_checkpoint(runtime.name),
         )
         hosted.context = context
         outcome_type = MessageType.TASK_COMPLETED
@@ -290,6 +296,7 @@ class TaskManager:
                         f"chaos-stalled task {runtime.name!r} cancelled"
                     )
             instance = self._instantiate(hosted.task_class, runtime)
+            instance._ctx = context  # enables Task.checkpoint/restore
             result = instance.run(context)
         except ShutdownError:
             if hosted.timed_out and attempt <= runtime.spec.max_retries:
@@ -350,10 +357,13 @@ class TaskManager:
             )
         except ShutdownError:
             pass
-        if not retrying:
-            job.note_terminal(runtime.name)
+        # journal (on_terminal) before note_terminal: the finished event may
+        # wake a client that immediately shuts the cluster (and the journal
+        # backend) down, so the terminal records must already be on disk
         if on_terminal is not None:
             on_terminal(job, runtime)
+        if not retrying:
+            job.note_terminal(runtime.name)
 
     def _apply_outcome(
         self,
@@ -430,6 +440,34 @@ class TaskManager:
         """Forget a hosted task (used when a retry re-places elsewhere)."""
         with self._lock:
             self._hosted.pop((job.job_id, name), None)
+
+    def evict_job(self, job_id: str) -> list[str]:
+        """Evict and cancel every hosting of *job_id* on this node.
+
+        Used by a successor JobManager adopting the job after a failover:
+        any attempts the dead manager placed here become zombies -- their
+        queues close, their threads unblock with ShutdownError, and the
+        hosted-identity fence in :meth:`_apply_outcome` discards whatever
+        outcome they produce.  Returns the evicted task names."""
+        with self._lock:
+            victims = [
+                (key, h) for key, h in self._hosted.items() if key[0] == job_id
+            ]
+            for key, h in victims:
+                del self._hosted[key]
+                if h.thread is None and not self._crashed:
+                    # placed but never started: no task thread exists to
+                    # release the memory reservation on exit
+                    self._memory_used -= h.runtime.spec.memory
+        names = []
+        for (_, name), h in victims:
+            if h.context is not None:
+                h.context.cancelled = True
+            h.cancel_event.set()
+            if h.runtime.queue is not None:
+                h.runtime.queue.close()
+            names.append(name)
+        return names
 
     def _instantiate(self, task_class: Type[Task], runtime: TaskRuntime) -> Task:
         try:

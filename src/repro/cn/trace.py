@@ -50,6 +50,7 @@ _LIFECYCLE = {
     MessageType.TASK_RETRY: "retry",
     MessageType.TASK_CANCELLED: "cancelled",
     MessageType.TASK_TIMEOUT: "timeout",
+    MessageType.TASK_RESUMED: "resumed",
 }
 
 # -- undeliverable notifications ------------------------------------------------
@@ -102,6 +103,10 @@ class TaskTrace:
     starts: int = 0
     retries: int = 0
     timeouts: int = 0
+    #: attempts that resumed from an application checkpoint (durability)
+    resumes: int = 0
+    #: checkpoint tags the resumes restored from, in arrival order
+    resumed_from: list = field(default_factory=list)
     final: Optional[str] = None  # completed | failed | cancelled
 
     @property
@@ -119,6 +124,10 @@ class JobTrace:
 
     def task(self, name: str) -> TaskTrace:
         return self.tasks[name]
+
+    def adoptions(self) -> list[TraceEvent]:
+        """Manager-failover adoptions observed by this job's client."""
+        return [e for e in self.events if e.kind == "adopted"]
 
     def consistency_problems(self) -> list[str]:
         """Sanity conditions every well-formed trace satisfies."""
@@ -162,6 +171,9 @@ def collect_trace(handle: JobHandle) -> JobTrace:
             task.retries += 1
         elif event.kind == "timeout":
             task.timeouts += 1
+        elif event.kind == "resumed":
+            task.resumes += 1
+            task.resumed_from.append(event.detail.get("tag"))
         elif event.kind in ("completed", "failed", "cancelled"):
             task.final = event.kind
     return trace
@@ -180,6 +192,10 @@ def _to_event(message: Message) -> Optional[TraceEvent]:
     if message.type == MessageType.JOB_DEGRADED:
         return TraceEvent(
             message.serial, "degraded", None, None, dict(message.payload or {})
+        )
+    if message.type == MessageType.MANAGER_ADOPTED:
+        return TraceEvent(
+            message.serial, "adopted", None, None, dict(message.payload or {})
         )
     kind = _LIFECYCLE.get(message.type)
     if kind is None:

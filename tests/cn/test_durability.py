@@ -1,0 +1,655 @@
+"""Durable job journal, replication, replay, and manager failover.
+
+Unit coverage for the ``repro.cn.durability`` layer (backends, fencing,
+replication, the pure ``replay_job`` fold, the job directory) plus
+deterministic end-to-end manager-failover scenarios on small clusters:
+explicit ``Cluster.tick`` calls, no background pumpers, no chaos rates.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cn import (
+    CNAPI,
+    Cluster,
+    FileJournal,
+    JobDirectory,
+    JournalError,
+    JournalRecord,
+    MemoryJournal,
+    MessageType,
+    ReplicatedJournal,
+    Task,
+    TaskRegistry,
+    TaskSpec,
+    TaskState,
+    collect_trace,
+    replay_job,
+)
+from repro.cn.durability import _decode_data, _encode_data, journal_factory_for_dir
+
+
+class Echo(Task):
+    """Returns the payload of the first USER message it receives."""
+
+    def __init__(self, *params):
+        pass
+
+    def run(self, ctx):
+        return ctx.recv_user(timeout=30.0).payload
+
+
+class EchoPair(Task):
+    """Returns the payloads of the first two USER messages it receives."""
+
+    def __init__(self, *params):
+        pass
+
+    def run(self, ctx):
+        first = ctx.recv_user(timeout=30.0).payload
+        second = ctx.recv_user(timeout=30.0).payload
+        return [first, second]
+
+
+class Quick(Task):
+    def __init__(self, *params):
+        pass
+
+    def run(self, ctx):
+        return "ok"
+
+
+def echo_registry() -> TaskRegistry:
+    registry = TaskRegistry()
+    registry.register_class("echo.jar", "t.Echo", Echo)
+    registry.register_class("echo.jar", "t.EchoPair", EchoPair)
+    registry.register_class("quick.jar", "t.Quick", Quick)
+    return registry
+
+
+def worker_only_nodes(cluster: Cluster) -> None:
+    """node0 hosts the JobManager but never any task, so killing it is a
+    pure *manager* failure (no orphaned hostings die with it)."""
+    cluster.servers[0].accept_tasks = False
+
+
+def rec(seq, job_id, kind, mepoch=1, origin="n0/jm", **data) -> JournalRecord:
+    return JournalRecord(
+        seq=seq, job_id=job_id, kind=kind, mepoch=mepoch, origin=origin, data=data
+    )
+
+
+# -- journal backends -----------------------------------------------------------
+
+
+class TestMemoryJournal:
+    def test_append_records_and_job_ids(self):
+        journal = MemoryJournal()
+        a = rec(1, "j1", "job-created", manager="n0/jm")
+        b = rec(2, "j2", "job-created", manager="n1/jm")
+        assert journal.append(a) and journal.append(b)
+        assert journal.records() == [a, b]
+        assert journal.records("j1") == [a]
+        assert journal.job_ids() == ["j1", "j2"]
+        assert len(journal) == 2
+
+    def test_epoch_fence_rejects_stale_writes(self):
+        journal = MemoryJournal()
+        assert journal.append(rec(1, "j", "job-created", mepoch=1))
+        assert journal.append(rec(2, "j", "job-adopted", mepoch=2))
+        stale = rec(3, "j", "task-state", mepoch=1, task="t", state="COMPLETED")
+        assert journal.append(stale) is False
+        assert journal.fenced == [stale]
+        assert stale not in journal.records("j")
+        assert journal.manager_epoch("j") == 2
+
+    def test_fence_is_per_job(self):
+        journal = MemoryJournal()
+        journal.append(rec(1, "a", "job-adopted", mepoch=5))
+        assert journal.append(rec(2, "b", "job-created", mepoch=1))
+        assert journal.manager_epoch("a") == 5
+        assert journal.manager_epoch("b") == 1
+        assert journal.manager_epoch("never-seen") == 0
+
+
+class TestFileJournal:
+    def test_roundtrip_including_pickle_envelope(self, tmp_path):
+        path = str(tmp_path / "node0.jsonl")
+        journal = FileJournal(path)
+        plain = rec(1, "j", "job-created", manager="n0/jm")
+        spec = rec(2, "j", "task-spec", spec=TaskSpec(name="t", jar="x.jar", cls="X"))
+        block = rec(3, "j", "checkpoint", task="t", tag=4, state=np.eye(3))
+        for record in (plain, spec, block):
+            assert journal.append(record)
+        journal.close()
+
+        reloaded = FileJournal(path)
+        records = reloaded.records("j")
+        assert [r.kind for r in records] == ["job-created", "task-spec", "checkpoint"]
+        assert records[0] == plain
+        assert records[1].data["spec"] == spec.data["spec"]
+        assert np.array_equal(records[2].data["state"], np.eye(3))
+        reloaded.close()
+
+    def test_file_is_valid_jsonl(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = FileJournal(path)
+        journal.append(rec(1, "j", "checkpoint", task="t", state=np.zeros(2)))
+        journal.close()
+        lines = [line for line in open(path, encoding="utf-8") if line.strip()]
+        assert len(lines) == 1
+        payload = json.loads(lines[0])  # numpy rides the pickle envelope
+        assert set(payload["data"]) == {"__pickled__"}
+
+    def test_reload_rebuilds_the_fence(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = FileJournal(path)
+        journal.append(rec(1, "j", "job-adopted", mepoch=3))
+        journal.close()
+        reloaded = FileJournal(path)
+        assert reloaded.manager_epoch("j") == 3
+        assert reloaded.append(rec(9, "j", "task-state", mepoch=2, task="t")) is False
+        reloaded.close()
+
+    def test_corrupt_file_raises_journal_error(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("this is not json\n")
+        with pytest.raises(JournalError, match="corrupt"):
+            FileJournal(str(path))
+
+    def test_missing_file_starts_empty(self, tmp_path):
+        journal = FileJournal(str(tmp_path / "fresh.jsonl"))
+        assert journal.records() == []
+        journal.close()
+
+    def test_factory_writes_one_file_per_node(self, tmp_path):
+        factory = journal_factory_for_dir(str(tmp_path / "journals"))
+        journal = factory("node7")
+        journal.append(rec(1, "j", "job-created"))
+        journal.close()
+        assert (tmp_path / "journals" / "node7.jsonl").exists()
+
+
+class TestEncodeDecode:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.one_of(st.integers(), st.text(max_size=12), st.binary(max_size=12)),
+            max_size=5,
+        )
+    )
+    def test_envelope_roundtrips_arbitrary_payloads(self, data):
+        assert _decode_data(_encode_data(data)) == data
+
+
+# -- replication ----------------------------------------------------------------
+
+
+class TestReplicatedJournal:
+    def test_appends_replicate_to_every_peer(self):
+        with Cluster(3, registry=echo_registry()) as cluster:
+            record = cluster.servers[0].journal.append(
+                "jobX", "job-created", {"manager": "node0/jm"}, 1
+            )
+            assert record is not None
+            for server in cluster.servers[1:]:
+                assert server.journal.backend.records("jobX") == [record]
+
+    def test_own_origin_replicas_are_skipped(self):
+        journal = ReplicatedJournal(MemoryJournal(), bus=None, origin="node0")
+        record = journal.append("j", "job-created", {}, 1)
+        assert journal.receive(record.to_payload()) is False
+        assert len(journal.backend.records("j")) == 1
+
+    def test_fenced_append_returns_none_and_is_not_published(self):
+        with Cluster(2, registry=echo_registry()) as cluster:
+            j0 = cluster.servers[0].journal
+            j0.append("j", "job-adopted", {"manager": "node0/jm"}, 2)
+            before = len(cluster.servers[1].journal.backend.records("j"))
+            assert j0.append("j", "task-state", {"task": "t"}, 1) is None
+            assert len(cluster.servers[1].journal.backend.records("j")) == before
+
+    def test_jobs_managed_by_follows_adoptions_and_finishes(self):
+        journal = ReplicatedJournal(MemoryJournal(), bus=None, origin="x")
+        journal.append("a", "job-created", {"manager": "n0/jm"}, 1)
+        journal.append("b", "job-created", {"manager": "n0/jm"}, 1)
+        journal.append("c", "job-created", {"manager": "n1/jm"}, 1)
+        # b was adopted away from n0; a finished under n0
+        journal.append("b", "job-adopted", {"manager": "n1/jm"}, 2)
+        journal.append("a", "job-finished", {"failed": False}, 1)
+        assert journal.jobs_managed_by("n0/jm") == []
+        assert journal.jobs_managed_by("n1/jm") == ["b", "c"]
+        assert journal.jobs_managed_by("n0/jm", unfinished_only=False) == ["a"]
+
+
+class TestJobDirectory:
+    def test_register_lookup_and_epoch_guard(self):
+        directory = JobDirectory()
+        directory.register("j", "mgr1", "job1", epoch=2)
+        assert directory.lookup("j").manager == "mgr1"
+        # a zombie manager cannot re-claim with a lower epoch...
+        directory.register("j", "zombie", "old", epoch=1)
+        assert directory.lookup("j").job == "job1"
+        # ...but a successor with a higher epoch wins
+        directory.register("j", "mgr2", "job2", epoch=3)
+        entry = directory.lookup("j")
+        assert (entry.manager, entry.job, entry.epoch) == ("mgr2", "job2", 3)
+        assert directory.lookup("missing") is None
+        assert directory.job_ids() == ["j"]
+
+
+# -- replay ---------------------------------------------------------------------
+
+
+class TestReplayJob:
+    def journal_for_one_task(self):
+        spec = TaskSpec(name="t", jar="x.jar", cls="X")
+        return [
+            rec(1, "j", "job-created", client="c", manager="n0/jm", descriptor="<cn2/>"),
+            rec(2, "j", "task-spec", spec=spec),
+            rec(3, "j", "task-placed", task="t", node="n1/tm", epoch=1),
+            rec(4, "j", "task-state", task="t", state="RUNNING", attempts=1),
+            rec(5, "j", "checkpoint", task="t", tag=0, state={"k": 0}),
+            rec(6, "j", "task-placed", task="t", node="n2/tm", epoch=2),
+            rec(7, "j", "task-state", task="t", state="COMPLETED", attempts=2, result=7),
+            rec(8, "j", "job-finished", failed=False),
+        ]
+
+    def test_fold_reconstructs_everything(self):
+        snapshot = replay_job("j", self.journal_for_one_task())
+        assert (snapshot.client, snapshot.manager) == ("c", "n0/jm")
+        assert snapshot.descriptor == "<cn2/>"
+        assert snapshot.order == ["t"]
+        assert snapshot.states["t"] == "COMPLETED"
+        assert snapshot.results["t"] == 7
+        assert snapshot.attempts["t"] == 2
+        assert snapshot.epochs["t"] == 2  # highest placement epoch wins
+        assert snapshot.nodes["t"] == "n2/tm"
+        assert snapshot.checkpoints["t"] == (0, {"k": 0})
+        assert snapshot.finished and not snapshot.failed
+        assert snapshot.terminal_tasks() == ["t"]
+        assert snapshot.pending_tasks() == []
+
+    def test_pending_tasks_are_the_successors_worklist(self):
+        records = self.journal_for_one_task()[:5]  # still RUNNING
+        snapshot = replay_job("j", records)
+        assert snapshot.pending_tasks() == ["t"]
+        assert not snapshot.finished
+
+    def test_stale_epoch_records_are_ignored(self):
+        records = self.journal_for_one_task()[:6]
+        records += [
+            rec(7, "j", "job-adopted", mepoch=2, manager="n1/jm"),
+            # a zombie write stamped with the dead manager's epoch
+            rec(8, "j", "task-state", mepoch=1, task="t", state="COMPLETED", result=666),
+        ]
+        snapshot = replay_job("j", records)
+        assert snapshot.manager == "n1/jm"
+        assert snapshot.mepoch == 2
+        assert snapshot.states["t"] == "RUNNING"
+        assert "t" not in snapshot.results
+
+    def test_other_jobs_records_are_skipped(self):
+        records = self.journal_for_one_task()
+        noise = [rec(99, "other", "job-created", manager="n3/jm")]
+        assert replay_job("j", noise + records) == replay_job("j", records)
+
+
+# -- replay determinism (hypothesis) --------------------------------------------
+
+_TASKS = st.sampled_from(["a", "b", "c"])
+_KIND_DATA = st.one_of(
+    st.builds(lambda m: ("job-created", {"client": "c", "manager": m}),
+              st.sampled_from(["n0/jm", "n1/jm"])),
+    st.builds(lambda m: ("job-adopted", {"manager": m}),
+              st.sampled_from(["n1/jm", "n2/jm"])),
+    st.builds(lambda n: ("task-spec", {"spec": TaskSpec(name=n, jar="j", cls="C")}),
+              _TASKS),
+    st.builds(lambda n, node, e: ("task-placed", {"task": n, "node": node, "epoch": e}),
+              _TASKS, st.sampled_from(["n0/tm", "n1/tm"]), st.integers(0, 4)),
+    st.builds(lambda n, s, a: ("task-state", {"task": n, "state": s, "attempts": a}),
+              _TASKS, st.sampled_from([s.value for s in TaskState]), st.integers(0, 3)),
+    st.builds(lambda n, t: ("checkpoint", {"task": n, "tag": t, "state": {"k": t}}),
+              _TASKS, st.integers(0, 9)),
+    st.builds(lambda f: ("job-finished", {"failed": f}), st.booleans()),
+)
+
+
+@st.composite
+def journals(draw):
+    entries = draw(st.lists(
+        st.tuples(_KIND_DATA, st.integers(1, 3), st.sampled_from(["j", "other"])),
+        max_size=30,
+    ))
+    return [
+        JournalRecord(seq=i + 1, job_id=job_id, kind=kind, mepoch=mepoch,
+                      origin="n0/jm", data=data)
+        for i, ((kind, data), mepoch, job_id) in enumerate(entries)
+    ]
+
+
+class TestReplayDeterminism:
+    @settings(max_examples=100, deadline=None)
+    @given(journals())
+    def test_replay_is_a_pure_function_of_the_record_sequence(self, records):
+        assert replay_job("j", records) == replay_job("j", list(records))
+
+    @settings(max_examples=100, deadline=None)
+    @given(journals())
+    def test_replaying_a_fenced_backend_equals_replaying_the_raw_stream(self, records):
+        """The backends' epoch fence and replay_job's internal fence drop
+        exactly the same records, so recovery does not depend on whether
+        zombie writes were filtered at append time or at replay time."""
+        journal = MemoryJournal()
+        for record in records:
+            journal.append(record)
+        assert replay_job("j", journal.records("j")) == replay_job("j", records)
+
+    @settings(max_examples=60, deadline=None)
+    @given(journals(), journals())
+    def test_other_jobs_never_leak_into_a_snapshot(self, records, noise):
+        foreign = [
+            JournalRecord(seq=1000 + i, job_id="other", kind=r.kind,
+                          mepoch=r.mepoch, origin=r.origin, data=r.data)
+            for i, r in enumerate(noise)
+        ]
+        assert replay_job("j", records + foreign) == replay_job("j", records)
+
+
+# -- checkpoint API -------------------------------------------------------------
+
+
+class TestCheckpointAPI:
+    def test_job_checkpoint_roundtrip_journals_the_state(self):
+        with Cluster(1, registry=echo_registry()) as cluster:
+            jm = cluster.servers[0].jobmanager
+            job = jm.create_job("client")
+            job.save_checkpoint("t", {"k": 3}, tag=3)
+            assert job.load_checkpoint("t") == (3, {"k": 3})
+            assert job.load_checkpoint("never") is None
+            kinds = [r.kind for r in jm.journal.records(job.job_id)]
+            assert "checkpoint" in kinds
+
+    def test_task_checkpoint_without_context_is_a_noop(self):
+        task = Echo()
+        assert task.checkpoint({"x": 1}) is False
+        assert task.restore() is None
+
+    def test_checkpointed_state_survives_replay(self):
+        with Cluster(1, registry=echo_registry()) as cluster:
+            jm = cluster.servers[0].jobmanager
+            job = jm.create_job("client")
+            job.save_checkpoint("t", {"k": 5}, tag=5)
+            snapshot = replay_job(job.job_id, jm.journal.records(job.job_id))
+            assert snapshot.checkpoints["t"] == (5, {"k": 5})
+
+
+# -- durable job lifecycle ------------------------------------------------------
+
+
+class TestDurableJobLifecycle:
+    def test_quick_job_leaves_a_complete_journal(self):
+        with Cluster(2, registry=echo_registry()) as cluster:
+            api = CNAPI.initialize(cluster)
+            handle = api.create_job("client")
+            api.create_task(handle, TaskSpec(name="q", jar="quick.jar", cls="t.Quick"))
+            api.start_job(handle)
+            assert api.wait(handle, timeout=10)["q"] == "ok"
+            records = handle.manager.journal.records(handle.job_id)
+            kinds = [r.kind for r in records]
+            assert kinds[0] == "job-created"
+            assert "task-spec" in kinds and "task-placed" in kinds
+            assert kinds[-1] == "job-finished"
+            snapshot = replay_job(handle.job_id, records)
+            assert snapshot.states["q"] == "COMPLETED"
+            assert snapshot.results["q"] == "ok"
+            assert snapshot.finished
+
+    def test_user_deliveries_ride_the_journal(self):
+        with Cluster(2, registry=echo_registry()) as cluster:
+            api = CNAPI.initialize(cluster)
+            handle = api.create_job("client")
+            api.create_task(handle, TaskSpec(name="e", jar="echo.jar", cls="t.Echo"))
+            api.start_job(handle)
+            api.send_message(handle, "e", "hello")
+            assert api.wait(handle, timeout=10)["e"] == "hello"
+            snapshot = replay_job(
+                handle.job_id, handle.manager.journal.records(handle.job_id)
+            )
+            payloads = [m.payload for m in snapshot.deliveries.get("e", [])]
+            assert "hello" in payloads
+
+    def test_non_durable_cluster_has_no_journal(self):
+        with Cluster(2, registry=echo_registry(), durable=False) as cluster:
+            api = CNAPI.initialize(cluster)
+            handle = api.create_job("client")
+            api.create_task(handle, TaskSpec(name="q", jar="quick.jar", cls="t.Quick"))
+            api.start_job(handle)
+            assert api.wait(handle, timeout=10)["q"] == "ok"
+            assert handle.manager.journal is None
+            # the directory is still wired so handles resolve uniformly
+            assert cluster.directory.lookup(handle.job_id) is not None
+
+    def test_file_journal_cluster_persists_across_shutdown(self, tmp_path):
+        journal_dir = str(tmp_path / "journals")
+        with Cluster(2, registry=echo_registry(), journal_dir=journal_dir) as cluster:
+            api = CNAPI.initialize(cluster)
+            handle = api.create_job("client")
+            api.create_task(handle, TaskSpec(name="q", jar="quick.jar", cls="t.Quick"))
+            api.start_job(handle)
+            api.wait(handle, timeout=10)
+            job_id = handle.job_id
+        reloaded = FileJournal(f"{journal_dir}/node0.jsonl")
+        snapshot = replay_job(job_id, reloaded.records(job_id))
+        assert snapshot.finished and snapshot.results["q"] == "ok"
+        reloaded.close()
+
+
+# -- manager failover -----------------------------------------------------------
+
+
+class TestManagerFailover:
+    def test_successor_adopts_and_completes_in_flight_job(self):
+        with Cluster(3, registry=echo_registry(), failure_k=2) as cluster:
+            worker_only_nodes(cluster)
+            api = CNAPI.initialize(cluster)
+            handle = api.create_job("client", requirements={"prefer": "node0"})
+            api.create_task(
+                handle,
+                TaskSpec(name="e", jar="echo.jar", cls="t.EchoPair", max_retries=2),
+            )
+            api.start_job(handle)
+            api.send_message(handle, "e", "first")
+            assert handle.manager.name == "node0/jm"
+            cluster.kill_node("node0")
+            cluster.tick(3)  # detect death -> lowest survivor adopts
+            # the handle transparently re-binds to the successor
+            assert handle.manager.name == "node1/jm"
+            assert handle.job.manager_epoch == 2
+            api.send_message(handle, "e", "second")
+            results = api.wait(handle, timeout=15)
+            # "first" came back via the replayed delivery ledger
+            assert results["e"] == ["first", "second"]
+            jm = cluster.servers[1].jobmanager
+            assert handle.job_id in jm.adopted_jobs
+            trace = collect_trace(handle)
+            [adoption] = trace.adoptions()
+            assert adoption.detail["previous"] == "node0/jm"
+            assert adoption.detail["manager"] == "node1/jm"
+            assert adoption.detail["manager_epoch"] == 2
+
+    def test_adoption_record_fences_the_dead_managers_epoch(self):
+        with Cluster(3, registry=echo_registry(), failure_k=2) as cluster:
+            worker_only_nodes(cluster)
+            api = CNAPI.initialize(cluster)
+            handle = api.create_job("client", requirements={"prefer": "node0"})
+            api.create_task(handle, TaskSpec(name="e", jar="echo.jar", cls="t.Echo"))
+            api.start_job(handle)
+            job_id = handle.job_id
+            cluster.kill_node("node0")
+            cluster.tick(3)
+            successor_journal = cluster.servers[1].journal
+            assert successor_journal.backend.manager_epoch(job_id) == 2
+            # a write still stamped with the dead manager's epoch bounces
+            assert successor_journal.append(job_id, "task-state", {}, 1) is None
+            api.send_message(handle, "e", "done")
+            assert api.wait(handle, timeout=15)["e"] == "done"
+
+    def test_only_the_lowest_ranked_survivor_adopts(self):
+        with Cluster(4, registry=echo_registry(), failure_k=2) as cluster:
+            worker_only_nodes(cluster)
+            api = CNAPI.initialize(cluster)
+            handle = api.create_job("client", requirements={"prefer": "node0"})
+            api.create_task(handle, TaskSpec(name="e", jar="echo.jar", cls="t.Echo"))
+            api.start_job(handle)
+            cluster.kill_node("node0")
+            cluster.tick(3)
+            adopters = [
+                s.name for s in cluster.alive_servers()
+                if handle.job_id in s.jobmanager.adopted_jobs
+            ]
+            assert adopters == ["node1"]
+            api.send_message(handle, "e", "x")
+            assert api.wait(handle, timeout=15)["e"] == "x"
+
+    def test_worker_failure_does_not_trigger_adoption(self):
+        with Cluster(3, registry=echo_registry(), failure_k=2) as cluster:
+            worker_only_nodes(cluster)
+            api = CNAPI.initialize(cluster)
+            handle = api.create_job("client", requirements={"prefer": "node0"})
+            api.create_task(
+                handle,
+                TaskSpec(name="e", jar="echo.jar", cls="t.Echo", max_retries=2),
+            )
+            api.start_job(handle)
+            victim = handle.job.task("e").node_name.split("/")[0]
+            cluster.kill_node(victim)
+            cluster.tick(3)
+            api.send_message(handle, "e", "still here")
+            assert api.wait(handle, timeout=15)["e"] == "still here"
+            for server in cluster.alive_servers():
+                assert server.jobmanager.adopted_jobs == []
+
+    def test_finished_jobs_are_not_adopted(self):
+        with Cluster(3, registry=echo_registry(), failure_k=2) as cluster:
+            worker_only_nodes(cluster)
+            api = CNAPI.initialize(cluster)
+            handle = api.create_job("client", requirements={"prefer": "node0"})
+            api.create_task(handle, TaskSpec(name="q", jar="quick.jar", cls="t.Quick"))
+            api.start_job(handle)
+            assert api.wait(handle, timeout=10)["q"] == "ok"
+            cluster.kill_node("node0")
+            cluster.tick(3)
+            for server in cluster.alive_servers():
+                assert server.jobmanager.adopted_jobs == []
+
+    def test_manager_adopted_notification_reaches_the_client(self):
+        with Cluster(3, registry=echo_registry(), failure_k=2) as cluster:
+            worker_only_nodes(cluster)
+            api = CNAPI.initialize(cluster)
+            handle = api.create_job("client", requirements={"prefer": "node0"})
+            api.create_task(handle, TaskSpec(name="e", jar="echo.jar", cls="t.Echo"))
+            api.start_job(handle)
+            cluster.kill_node("node0")
+            cluster.tick(3)
+            api.send_message(handle, "e", "m")
+            api.wait(handle, timeout=15)
+            types = [m.type for m in handle.job.client_queue.drain()]
+            assert MessageType.MANAGER_ADOPTED in types
+
+
+class TestEvictJob:
+    def test_evicts_placed_but_unstarted_hostings_and_frees_memory(self):
+        with Cluster(2, registry=echo_registry()) as cluster:
+            worker_only_nodes(cluster)
+            api = CNAPI.initialize(cluster)
+            handle = api.create_job("client", requirements={"prefer": "node0"})
+            api.create_task(
+                handle, TaskSpec(name="e", jar="echo.jar", cls="t.Echo", memory=1234)
+            )
+            tm = cluster.servers[1].taskmanager
+            assert tm.free_memory == tm.memory_capacity - 1234
+            assert tm.evict_job(handle.job_id) == ["e"]
+            assert tm.free_memory == tm.memory_capacity
+            assert tm.evict_job(handle.job_id) == []  # idempotent
+
+    def test_evicted_running_task_cannot_publish_its_outcome(self):
+        release = threading.Event()
+
+        class Gated(Task):
+            def __init__(self, *params):
+                pass
+
+            def run(self, ctx):
+                release.wait(10)
+                return "zombie"
+
+        registry = TaskRegistry()
+        registry.register_class("g.jar", "t.G", Gated)
+        try:
+            with Cluster(2, registry=registry) as cluster:
+                worker_only_nodes(cluster)
+                api = CNAPI.initialize(cluster)
+                handle = api.create_job("client", requirements={"prefer": "node0"})
+                api.create_task(handle, TaskSpec(name="g", jar="g.jar", cls="t.G"))
+                api.start_job(handle)
+                assert handle.job.task("g").state is TaskState.RUNNING
+                tm = cluster.servers[1].taskmanager
+                assert tm.evict_job(handle.job_id) == ["g"]
+                release.set()
+                import time
+
+                deadline = time.time() + 5
+                while handle.job.task("g").state is TaskState.RUNNING:
+                    if time.time() > deadline:
+                        break
+                    time.sleep(0.01)
+                assert handle.job.task("g").result is None
+        finally:
+            release.set()
+
+
+# -- heartbeat pumper lifecycle (stop_heartbeats / context manager) -------------
+
+
+class TestHeartbeatLifecycle:
+    def test_stop_heartbeats_joins_the_pumper_thread(self):
+        cluster = Cluster(2, registry=echo_registry()).start()
+        try:
+            cluster.start_heartbeats(interval=0.01)
+            pumper = cluster._pumper
+            assert pumper is not None and pumper.is_alive()
+            cluster.start_heartbeats(interval=0.01)  # idempotent while running
+            assert cluster._pumper is pumper
+            cluster.stop_heartbeats()
+            assert cluster._pumper is None
+            assert not pumper.is_alive()
+            cluster.stop_heartbeats()  # safe to call again
+        finally:
+            cluster.shutdown()
+
+    def test_context_manager_exit_stops_the_pumper(self):
+        with Cluster(2, registry=echo_registry()) as cluster:
+            cluster.start_heartbeats(interval=0.01)
+            pumper = cluster._pumper
+            assert pumper.is_alive()
+        assert not pumper.is_alive()
+        assert not any(
+            t.name == "cn-heartbeat-pumper" and t.is_alive()
+            for t in threading.enumerate()
+        )
+
+    def test_heartbeats_can_restart_after_stop(self):
+        with Cluster(2, registry=echo_registry()) as cluster:
+            cluster.start_heartbeats(interval=0.01)
+            first = cluster._pumper
+            cluster.stop_heartbeats()
+            cluster.start_heartbeats(interval=0.01)
+            second = cluster._pumper
+            assert second is not first and second.is_alive()

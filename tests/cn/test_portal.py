@@ -67,10 +67,12 @@ class TestPortalService:
             "client.java",
             "diagnostics",
             "faults",
+            "failovers",
         }
         assert artifacts["xmi"].startswith("<XMI")
         assert json.loads(artifacts["diagnostics"]) == []
         assert json.loads(artifacts["faults"]) == []
+        assert json.loads(artifacts["failovers"]) == []
 
 
 class TestPortalHTTP:
