@@ -104,3 +104,62 @@ def test_bench_message_accounting_overhead(benchmark):
 
     routed = benchmark.pedantic(run_once, rounds=3, iterations=1)
     assert routed >= 100
+
+
+def test_wait_wakeup_latency(report):
+    """PERF10 -- JobHandle.wait wake-up latency.
+
+    ``api.wait`` used to poll the job every 0.2s, so a finished job sat
+    unnoticed for ~100ms on average (uniform in [0, 200ms]).  The wait
+    path now blocks on a condition variable that ``note_terminal``
+    signals, so the waiter wakes as soon as the outcome is applied.  We
+    measure poke-to-return latency with a waiter parked inside
+    ``api.wait`` and require the mean to beat even half of one old poll
+    slice by a wide margin.
+    """
+    import threading
+    import time
+
+    from repro.cn import TaskRegistry
+    from tests.conftest import Sleepy
+
+    registry = TaskRegistry()
+    registry.register_class("sleepy.jar", "test.Sleepy", Sleepy)
+
+    latencies = []
+    with Cluster(2, registry=registry, memory_per_node=10**6) as cluster:
+        api = CNAPI.initialize(cluster)
+        for round_no in range(10):
+            handle = api.create_job(f"wake-{round_no}")
+            api.create_task(
+                handle,
+                TaskSpec(name="s", jar="sleepy.jar", cls="test.Sleepy", memory=1),
+            )
+            api.start_job(handle)
+            returned = {}
+
+            def waiter():
+                returned["results"] = api.wait(handle, timeout=30)
+                returned["at"] = time.perf_counter()
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            time.sleep(0.05)  # let the waiter park inside wait()
+            poked_at = time.perf_counter()
+            api.send_message(handle, "s", "wake-up")
+            thread.join(timeout=30)
+            assert not thread.is_alive() and returned["results"]["s"] == "wake-up"
+            latencies.append(returned["at"] - poked_at)
+
+    mean = sum(latencies) / len(latencies)
+    worst = max(latencies)
+    report.line("PERF10 -- wait() wake-up latency (condition variable, no polling)")
+    report.line()
+    report.table(
+        ["rounds", "mean", "p100", "old poll slice"],
+        [[len(latencies), f"{mean * 1e3:.2f} ms", f"{worst * 1e3:.2f} ms", "200 ms"]],
+    )
+    # latency includes the poke message delivery and the task finishing,
+    # so it is not pure wake time -- but it must still be far below the
+    # ~100ms average penalty the 0.2s poll imposed.
+    assert mean < 0.05, f"mean wake latency {mean * 1e3:.1f} ms; polling regression?"

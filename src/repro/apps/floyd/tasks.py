@@ -152,6 +152,9 @@ class TCTask(Task):
         my_start, my_end = ranges[me]
         assert (my_start, my_end) == (start, start + block.shape[0])
 
+        if resumed_from is not None:
+            ctx.event("resumed-mid-algorithm", first_k=first_k)
+        rows_broadcast = ctx.counter("cn_floyd_rows_broadcast_total")
         closure = mode == MODE_CLOSURE
         if not block.size:
             # surplus worker (workers > n): owns no rows, receives no
@@ -166,9 +169,13 @@ class TCTask(Task):
             owner = _owner_of_row(k, ranges)
             if owner == me:
                 row_k = block[k - my_start].copy()
+                sent = 0
                 for peer_index, peer in enumerate(workers):
                     if peer_index != me and ranges[peer_index][0] < ranges[peer_index][1]:
                         ctx.send(peer, ("row", k, row_k))
+                        sent += 1
+                if sent:  # one batched bump per round, not one per peer
+                    rows_broadcast.inc(sent)
             else:
                 message = ctx.recv_matching(
                     lambda m, _k=k: m.is_user()
@@ -251,6 +258,7 @@ class TCJoin(Task):
                 # (workers > n) all report an empty block at start == n
                 pieces[start] = block
         ordered = [pieces[s] for s in sorted(pieces)]
+        ctx.event("blocks-collated", workers=expected, blocks=len(pieces))
         result = np.vstack(ordered) if ordered else np.zeros((0, 0))
         matrix = [list(map(float, row)) for row in result]
         if self.sink and not self.sink.startswith("store:"):

@@ -49,6 +49,7 @@ class PiSplit(Task):
         for index, worker in enumerate(workers):
             count = base + (1 if index < extra else 0)
             ctx.send(worker, ("chunk", count, self.seed + index + 1))
+        ctx.event("chunks-dispatched", workers=len(workers), samples=self.samples)
         return {"workers": len(workers), "samples": self.samples}
 
 
@@ -71,6 +72,7 @@ class PiWorker(Task):
                 hits += 1
         for joiner in ctx.my_dependents():
             ctx.send(joiner, ("hits", hits, samples))
+        ctx.counter("cn_pi_samples_total").inc(samples)
         return {"hits": hits, "samples": samples}
 
 
@@ -91,4 +93,5 @@ class PiJoin(Task):
             hits += message.payload[1]
             samples += message.payload[2]
         estimate = 4.0 * hits / samples if samples else float("nan")
+        ctx.event("estimate-reduced", pi=estimate, samples=samples)
         return {"pi": estimate, "hits": hits, "samples": samples}

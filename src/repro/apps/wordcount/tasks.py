@@ -59,6 +59,7 @@ class WordSplit(Task):
             ctx.tuple_space.out(("shard", shard_count, " ".join(words[index : index + per])))
             shard_count += 1
         ctx.tuple_space.out(("shards", shard_count))
+        ctx.event("text-sharded", shards=shard_count, words=len(words))
         # one poison pill per mapper ends the steal loop
         for _ in range(max(n_mappers, 1)):
             ctx.tuple_space.out(POISON)
@@ -72,6 +73,7 @@ class WordMapper(Task):
         self.index = int(index)
 
     def run(self, ctx: TaskContext) -> dict:
+        shards_done = ctx.counter("cn_wordcount_shards_total")
         processed = 0
         while True:
             shard = ctx.tuple_space.in_(("shard", None, None), timeout=30.0)
@@ -80,6 +82,7 @@ class WordMapper(Task):
                 break
             counts = dict(Counter(tokenize_words(text)))
             ctx.tuple_space.out(("counts", shard_id, counts))
+            shards_done.inc()
             processed += 1
         return {"processed": processed}
 
@@ -96,4 +99,5 @@ class WordReducer(Task):
         for _ in range(expected):
             tup = ctx.tuple_space.in_(("counts", None, None), timeout=30.0)
             merged.update(tup[2])
+        ctx.event("histogram-merged", shards=expected, distinct_words=len(merged))
         return dict(merged)

@@ -48,6 +48,17 @@ from .registry import TaskRegistry
 from .runmodel import RunModel
 from .server import CNServer
 from .task import FunctionTask, Task, TaskContext
+from .telemetry import (
+    CriticalPath,
+    MetricsRegistry,
+    Span,
+    SpanRecorder,
+    Telemetry,
+    chrome_trace,
+    critical_path,
+    orphan_spans,
+    prometheus_text,
+)
 from .trace import JobTrace, TaskTrace, TraceEvent, collect_trace, render_timeline
 from .taskmanager import TaskManager
 from .tuplespace import TupleSpace, matches
@@ -116,4 +127,13 @@ __all__ = [
     "JobSnapshot",
     "replay_job",
     "journal_factory_for_dir",
+    "Telemetry",
+    "MetricsRegistry",
+    "SpanRecorder",
+    "Span",
+    "CriticalPath",
+    "critical_path",
+    "chrome_trace",
+    "prometheus_text",
+    "orphan_spans",
 ]

@@ -180,22 +180,26 @@ class CNAPI:
     def wait(self, handle: JobHandle, timeout: Optional[float] = None) -> dict[str, Any]:
         """Block until the job finishes; returns task results.
 
-        Waits in short slices, re-resolving the handle between them, so a
-        manager failover mid-wait transparently continues on the
-        successor's rebuilt Job instead of blocking on a dead one."""
+        Blocks on the job's completion condition variable, so the waiter
+        wakes the instant the last task turns terminal (formerly this
+        polled in 0.2s slices -- see ``benchmarks`` PERF4 for the
+        measured win).  A manager failover mid-wait wakes the waiter via
+        :meth:`Job.mark_rebound`; the handle then re-resolves and the
+        wait transparently continues on the successor's rebuilt Job."""
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             job = handle.job
-            if deadline is None:
-                slice_timeout = 0.2
-            else:
-                slice_timeout = min(0.2, deadline - time.monotonic())
-                if slice_timeout <= 0:
+            remaining: Optional[float] = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
                     raise JobTimeoutError(job.job_id, timeout, job.states())
-            try:
-                return job.wait(slice_timeout)
-            except JobTimeoutError:
-                continue
+            status = job.wait_or_rebind(remaining)
+            if status == "finished":
+                return job.wait(0)
+            if status == "timeout":
+                raise JobTimeoutError(job.job_id, timeout, job.states())
+            # rebound: loop re-resolves through the directory
 
     def cancel(self, handle: JobHandle) -> None:
         handle.manager.cancel_job(handle.job)

@@ -171,12 +171,27 @@ class ChaosPolicy:
         self._node_crashes_after_starts: dict[str, int] = {}
         self._node_crashes_at_tick: dict[str, int] = {}
         self._script_lock = threading.Lock()
+        # armed = some fault could ever fire.  Rates are fixed at
+        # construction and scripted faults only arrive through the
+        # scripting methods below, so this is a cheap cached flag the
+        # per-message fault sites can poll instead of re-scanning every
+        # rate and script table.  Arming is one-way: a drained script
+        # leaves the policy armed (costs a check, never correctness).
+        self._armed = bool(
+            task_crash_rate
+            or stall_rate
+            or node_crash_rate
+            or queue_drop_rate
+            or queue_delay_rate
+            or bus_drop_rate
+        )
 
     # -- scripting -----------------------------------------------------------
     def crash_task(self, name: str, attempt: int = 1) -> "ChaosPolicy":
         """Crash task *name* when it starts the given *attempt* (1-based)."""
         with self._script_lock:
             self._task_crashes.add((name, attempt))
+        self._armed = True
         return self
 
     def stall_task(self, name: str, attempt: int = 1) -> "ChaosPolicy":
@@ -184,6 +199,7 @@ class ChaosPolicy:
         (by the deadline watchdog, a node crash, or job cancellation)."""
         with self._script_lock:
             self._task_stalls.add((name, attempt))
+        self._armed = True
         return self
 
     def crash_node(
@@ -202,29 +218,16 @@ class ChaosPolicy:
                 self._node_crashes_after_starts[node] = after_starts
             else:
                 self._node_crashes_at_tick[node] = at_tick  # type: ignore[assignment]
+        self._armed = True
         return self
 
     # -- the enabled fast path -------------------------------------------------
     @property
     def enabled(self) -> bool:
         """Whether any fault could ever fire; instrumented sites
-        short-circuit on this to keep the disabled overhead near zero."""
-        if (
-            self.task_crash_rate
-            or self.stall_rate
-            or self.node_crash_rate
-            or self.queue_drop_rate
-            or self.queue_delay_rate
-            or self.bus_drop_rate
-        ):
-            return True
-        with self._script_lock:
-            return bool(
-                self._task_crashes
-                or self._task_stalls
-                or self._node_crashes_after_starts
-                or self._node_crashes_at_tick
-            )
+        short-circuit on this to keep the disabled overhead near zero
+        (one cached attribute read, not a rate/script-table scan)."""
+        return self._armed
 
     # -- decision hooks (called from instrumented components) ---------------------
     def should_crash_task(self, job_id: str, task: str, attempt: int) -> bool:

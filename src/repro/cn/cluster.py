@@ -36,8 +36,11 @@ from .durability import (
 from .multicast import MulticastBus
 from .registry import TaskRegistry
 from .server import CNServer
+from .telemetry import Telemetry, sample_cluster
 
 __all__ = ["Cluster"]
+
+_DEFAULT = object()  # sentinel: "build a fresh enabled Telemetry hub"
 
 
 class Cluster(AbstractContextManager):
@@ -60,6 +63,7 @@ class Cluster(AbstractContextManager):
         durable: bool = True,
         journal_factory: Optional[Callable[[str], MemoryJournal]] = None,
         journal_dir: Optional[str] = None,
+        telemetry: Optional[Telemetry] = _DEFAULT,  # type: ignore[assignment]
     ) -> None:
         if nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -67,7 +71,14 @@ class Cluster(AbstractContextManager):
         self.chaos = chaos
         self.clock = clock if clock is not None else VirtualClock()
         self.tick_period = tick_period
+        #: the cluster's observability hub: always-on by default, pass
+        #: ``telemetry=None`` (or a disabled hub) to strip instrumentation
+        if telemetry is _DEFAULT:
+            telemetry = Telemetry()
+        self.telemetry: Optional[Telemetry] = telemetry
+        active = telemetry if telemetry is not None and telemetry.enabled else None
         self.bus = MulticastBus(per_hop_latency=per_hop_latency, chaos=chaos)
+        self.bus.set_telemetry(active)
         names = list(node_names) if node_names else [f"node{i}" for i in range(nodes)]
         if len(names) != nodes:
             raise ValueError(f"{nodes} nodes but {len(names)} names")
@@ -102,6 +113,7 @@ class Cluster(AbstractContextManager):
             server.taskmanager.crash_hook = (
                 lambda name=server.name: self.kill_node(name)
             )
+            server.set_telemetry(active)
             if self.durable:
                 backend = (
                     journal_factory(server.name)
@@ -214,6 +226,11 @@ class Cluster(AbstractContextManager):
                 server.jobmanager.on_tick()
             for server in alive:
                 server.taskmanager.expire_deadlines(now)
+            t = self.telemetry
+            if t is not None and t.enabled:
+                # per-node gauges (free memory/slots, hosted tasks, queue
+                # backpressure, heartbeat lag) refresh once per period
+                sample_cluster(t.metrics, self)
 
     def start_heartbeats(self, interval: float = 0.05) -> None:
         """Run :meth:`tick` on a daemon thread every *interval* wall-clock

@@ -335,11 +335,21 @@ class JobDirectory:
         self._lock = threading.Lock()
 
     def register(self, job_id: str, manager: Any, job: Any, epoch: int = 1) -> None:
+        replaced = None
         with self._lock:
             current = self._entries.get(job_id)
             if current is not None and current.epoch > epoch:
                 return  # a zombie manager cannot re-claim an adopted job
+            if current is not None and current.job is not job:
+                replaced = current.job
             self._entries[job_id] = DirectoryEntry(manager, job, epoch)
+        # wake clients blocked on the superseded Job *after* releasing the
+        # directory lock (mark_rebound takes the job lock; keep the order
+        # one-way to stay deadlock-free) so they re-resolve to this entry
+        if replaced is not None:
+            mark = getattr(replaced, "mark_rebound", None)
+            if callable(mark):
+                mark()
 
     def lookup(self, job_id: str) -> Optional[DirectoryEntry]:
         with self._lock:

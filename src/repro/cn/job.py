@@ -123,8 +123,17 @@ class Job:
         self.tuple_space = TupleSpace()
         self.client_queue = MessageQueue(owner=f"{job_id}/client")
         self._lock = threading.RLock()
-        self._finished = threading.Event()
+        # completion is a condition variable, not a polled flag: waiters
+        # (api.CNAPI.wait) block until notified, and a failover re-bind
+        # wakes them too so they can re-resolve the successor's Job
+        self._cond = threading.Condition(self._lock)
+        self._finished_flag = False
+        self._rebound = False
         self.failed: Optional[TaskFailedError] = None
+        #: cluster Telemetry hub (None or disabled = zero instrumentation)
+        self.telemetry: Optional[Any] = None
+        self._m_routed: Optional[Any] = None
+        self._m_payload: Optional[Any] = None
         # communication accounting (simulated wire volume): counts every
         # routed message and estimates its payload size -- the observable
         # the paper's row-k broadcast analysis (section 2) predicts
@@ -148,6 +157,26 @@ class Job:
         # populated through TaskContext.checkpoint and restored from the
         # journal on adoption
         self._checkpoints: dict[str, tuple[Any, Any]] = {}
+
+    # -- telemetry ---------------------------------------------------------------
+    def set_telemetry(self, telemetry: Optional[Any]) -> None:
+        """Attach the cluster Telemetry hub; binds hot-path metrics once
+        so :meth:`route` pays one attribute test when telemetry is off
+        and two bound-method calls when it is on."""
+        if telemetry is None or not telemetry.enabled:
+            self.telemetry = None
+            self._m_routed = None
+            self._m_payload = None
+            return
+        self.telemetry = telemetry
+        self._m_routed = telemetry.metrics.counter(
+            "cn_messages_routed_total", job=self.job_id
+        )
+        from .telemetry.metrics import BYTES_BUCKETS
+
+        self._m_payload = telemetry.metrics.histogram(
+            "cn_payload_bytes", buckets=BYTES_BUCKETS
+        )
 
     # -- durability ----------------------------------------------------------------
     def set_journal(self, hook: Optional[Any]) -> None:
@@ -235,6 +264,9 @@ class Job:
         with self._lock:
             self.messages_routed += 1
             self.payload_bytes += size
+        if self._m_routed is not None:
+            self._m_routed.inc()
+            self._m_payload.observe(size)
 
     def route(self, message: Message) -> None:
         """Deliver *message* to a task queue or the client queue.
@@ -247,6 +279,11 @@ class Job:
         a restarted attempt may see messages its predecessor already
         consumed, and consumers must tolerate duplicates.
         """
+        if self.telemetry is not None and message.trace_ctx is None:
+            # stamp the job's causal context on unattributed messages so
+            # downstream consumers can always walk back to a span; replace()
+            # re-uses the existing serial/ts (no logical-clock disturbance)
+            message = replace(message, trace_ctx=(self.job_id, "job"))
         self._account(message)
         if message.recipient == "client":
             self.client_queue.put(message)
@@ -294,31 +331,69 @@ class Job:
     # -- completion ---------------------------------------------------------------
     def note_terminal(self, name: str) -> None:
         """Called by the TaskManager when a task reaches a terminal state;
-        flips the job-finished event when the roster is done."""
+        flips the job-finished condition when the roster is done."""
+        finished = False
         with self._lock:
             runtime = self.tasks[name]
             if runtime.state is TaskState.FAILED and self.failed is None:
                 self.failed = TaskFailedError(name, runtime.error or "unknown")
-            if all(t.state.terminal for t in self.tasks.values()):
-                self._finished.set()
             # fail fast: a failure finishes the job even with tasks pending
-            elif self.failed is not None:
-                self._finished.set()
+            if self.failed is not None or all(
+                t.state.terminal for t in self.tasks.values()
+            ):
+                self._finished_flag = True
+                finished = True
+                self._cond.notify_all()
+            state = runtime.state.value
+        if self.telemetry is not None:
+            task_span = self.telemetry.spans.get(self.job_id, f"task:{name}")
+            if task_span is not None:
+                self.telemetry.spans.end(task_span, state=state)
+            if finished:
+                span = self.telemetry.spans.get(self.job_id, "job")
+                if span is not None:
+                    self.telemetry.spans.end(span, failed=self.failed is not None)
+
+    def mark_rebound(self) -> None:
+        """Wake waiters because a successor manager re-bound this job id
+        to a fresh :class:`Job`; blocked clients must re-resolve instead
+        of waiting on an object that will never finish."""
+        with self._lock:
+            self._rebound = True
+            self._cond.notify_all()
+
+    def wait_or_rebind(self, timeout: Optional[float] = None) -> str:
+        """Block until this job finishes or is re-bound elsewhere.
+
+        Returns ``"finished"``, ``"rebound"`` (a failover replaced this
+        object; re-resolve through the directory), or ``"timeout"``.
+        Unlike :meth:`wait` this never raises -- it is the api layer's
+        low-level wake primitive.
+        """
+        with self._cond:
+            self._cond.wait_for(
+                lambda: self._finished_flag or self._rebound, timeout
+            )
+            if self._finished_flag:
+                return "finished"
+            return "rebound" if self._rebound else "timeout"
 
     def wait(self, timeout: Optional[float] = None) -> dict[str, Any]:
         """Block until every task is terminal (or one fails).  Returns the
         result map; raises the first :class:`TaskFailedError` on failure.
         On timeout raises :class:`JobTimeoutError` carrying the per-task
         states, so "still running" is distinguishable from "wedged"."""
-        if not self._finished.wait(timeout):
-            raise JobTimeoutError(self.job_id, timeout, self.states())
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._finished_flag, timeout):
+                raise JobTimeoutError(self.job_id, timeout, self.states())
         if self.failed is not None:
             raise self.failed
         return self.results()
 
     @property
     def finished(self) -> bool:
-        return self._finished.is_set()
+        with self._lock:
+            return self._finished_flag
 
     def results(self) -> dict[str, Any]:
         return {

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from .chaos import ExponentialBackoff
 from .durability import JobDirectory, ReplicatedJournal, replay_job
@@ -151,6 +151,9 @@ class JobManager:
         self.directory: Optional[JobDirectory] = None
         #: jobs this manager adopted from dead peers (failover audit trail)
         self.adopted_jobs: list[str] = []
+        #: cluster Telemetry hub (set by Cluster/CNServer wiring); None or
+        #: a disabled hub means zero instrumentation on every path below
+        self.telemetry: Optional[Any] = None
 
     # -- discovery ---------------------------------------------------------
     def willing_to_manage(self, solicitation: Solicitation) -> Optional[dict]:
@@ -284,6 +287,9 @@ class JobManager:
                 raise CnError(f"JobManager {self.name!r} is shut down")
             self.jobs[job_id] = job
             self.adopted_jobs.append(job_id)
+        job.set_telemetry(self._hub())
+        t = job.telemetry
+        adopt_start = t.now() if t is not None else 0.0
         self._bind_journal(job)
         # fence first: once this record lands, any append still stamped
         # with the dead manager's epoch is rejected by every backend
@@ -292,6 +298,11 @@ class JobManager:
         )
         # rebuild the roster exactly as journaled
         for name in snapshot.order:
+            if t is not None:
+                # idempotent: the recorder is cluster-global, so spans the
+                # dead manager already began are reused, not duplicated --
+                # the adopted job keeps its one trace across manager epochs
+                self._begin_task_span(t, job, name, snapshot.specs[name].depends)
             runtime = job.add_task(snapshot.specs[name])
             runtime.attempts = snapshot.attempts.get(name, 0)
             # restoring the highest journaled placement epoch guarantees
@@ -347,7 +358,45 @@ class JobManager:
         if self.local_taskmanager is not None and not self.local_taskmanager.crashed:
             self.local_taskmanager.evict_job(job_id)
         self._recover(job, pending, reason="adoption")
+        if t is not None:
+            t.spans.record(
+                job_id,
+                f"adopt#{job.manager_epoch}",
+                start=adopt_start,
+                end=t.now(),
+                name=f"adopt by {self.name}",
+                kind="adopt",
+                parent_id="job",
+                node=self.name.split("/")[0],
+                manager=self.name,
+                previous=snapshot.manager,
+                manager_epoch=job.manager_epoch,
+            )
+            t.metrics.counter("cn_adoptions_total", manager=self.name).inc()
         return job
+
+    # -- telemetry helpers -------------------------------------------------------
+    def _hub(self) -> Optional[Any]:
+        """The active Telemetry hub, or None when disabled."""
+        t = self.telemetry
+        return t if t is not None and t.enabled else None
+
+    def _begin_task_span(self, t: Any, job: Job, name: str, depends) -> None:
+        """Ensure the job root + one task span exist, and record the DAG
+        edge on the root's ``deps`` attr (exported traces stay
+        self-contained for the critical-path CLI)."""
+        root = t.spans.begin(
+            job.job_id, "job", name=job.job_id, kind="job", client=job.client_name
+        )
+        root.attrs.setdefault("deps", {})[name] = list(depends)
+        t.spans.begin(
+            job.job_id,
+            f"task:{name}",
+            name=name,
+            kind="task",
+            parent_id="job",
+            task=name,
+        )
 
     # -- durability helpers ------------------------------------------------------
     def _bind_journal(self, job: Job) -> None:
@@ -373,6 +422,18 @@ class JobManager:
             job_id = f"{self.name}-job{self._job_counter}"
             job = Job(job_id, client_name)
             self.jobs[job_id] = job
+        job.set_telemetry(self._hub())
+        t = job.telemetry
+        if t is not None:
+            t.spans.begin(
+                job_id,
+                "job",
+                name=job_id,
+                kind="job",
+                node=self.name.split("/")[0],
+                client=client_name,
+            )
+            t.metrics.counter("cn_jobs_created_total", manager=self.name).inc()
         self._bind_journal(job)
         job.journal_event(
             "job-created",
@@ -385,6 +446,9 @@ class JobManager:
     def create_task(self, job: Job, spec: TaskSpec) -> TaskRuntime:
         """Place one task: solicit TaskManagers, upload, create queue."""
         runtime = job.add_task(spec)
+        t = job.telemetry
+        if t is not None:
+            self._begin_task_span(t, job, spec.name, spec.depends)
         # write-ahead: the spec is journaled before placement, so a
         # successor knows the full roster even if we die mid-placement
         job.journal_event("task-spec", {"spec": spec})
@@ -400,6 +464,32 @@ class JobManager:
         return runtime
 
     def _place(self, job: Job, runtime: TaskRuntime) -> None:
+        t = job.telemetry
+        if t is None:
+            self._place_inner(job, runtime)
+            return
+        start = t.now()
+        counter = t.metrics.counter("cn_placements_total", manager=self.name)
+        try:
+            self._place_inner(job, runtime)
+        finally:
+            counter.inc()
+            # epoch was bumped by host_task on success, so each effective
+            # placement round gets a distinct span under the task span
+            t.spans.record(
+                job.job_id,
+                f"place:{runtime.name}#{runtime.epoch}",
+                start=start,
+                end=t.now(),
+                name=f"place {runtime.name}",
+                kind="place",
+                parent_id=f"task:{runtime.name}",
+                node=runtime.node_name,
+                task=runtime.name,
+                epoch=runtime.epoch,
+            )
+
+    def _place_inner(self, job: Job, runtime: TaskRuntime) -> None:
         spec = runtime.spec
         if spec.runmodel is RunModel.RUN_IN_JOBMANAGER and self.local_taskmanager:
             # coordinator-style task runs on this servant's own TM
@@ -527,9 +617,12 @@ class JobManager:
         at-least-once across attempts; peers must tolerate duplicates
         (documented on TaskContext)."""
         recovered: list[TaskRuntime] = []
+        t = job.telemetry
         for runtime in runtimes:
             if runtime.state.terminal:
                 continue
+            if t is not None:
+                t.metrics.counter("cn_recoveries_total", reason=reason).inc()
             old_tm = self._tm_lookup(runtime.node_name or "")
             if old_tm is not None:
                 old_tm.evict(job, runtime.name)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -133,6 +134,15 @@ class Message:
     response to its request.  ``serial`` gives a process-wide total order
     useful in tests and logs (a logical clock; no wall time involved, so
     runs are deterministic under a fixed schedule).
+
+    ``ts`` is a monotonic timestamp taken at construction, so traces and
+    the delivery ledger get real timing; ordering assertions must keep
+    using ``serial`` (the logical clock), never ``ts``.  ``origin`` is
+    the node that produced the message (None when built outside any
+    node, e.g. by the client).  ``trace_ctx`` is the causal context --
+    ``(trace_id, span_id)`` of the producing span -- stamped by the
+    telemetry layer and propagated through queues, the bus, retries, and
+    failover adoptions.
     """
 
     type: str
@@ -141,21 +151,51 @@ class Message:
     payload: Any = None
     correlation: Optional[int] = None
     serial: int = field(default_factory=_next_serial)
+    ts: float = field(default_factory=time.monotonic, compare=False)
+    origin: Optional[str] = None
+    trace_ctx: Optional[tuple[str, str]] = None
 
     def is_user(self) -> bool:
         return self.type == MessageType.USER
 
-    def reply(self, type: str, sender: str, payload: Any = None) -> "Message":
-        """Build the response message correlated with this request."""
+    def reply(
+        self,
+        type: str,
+        sender: str,
+        payload: Any = None,
+        *,
+        origin: Optional[str] = None,
+    ) -> "Message":
+        """Build the response message correlated with this request.
+
+        The reply inherits the request's ``trace_ctx``: a response is
+        causally downstream of the span that sent the request.
+        """
         return Message(
             type=type,
             sender=sender,
             recipient=self.sender,
             payload=payload,
             correlation=self.serial,
+            origin=origin,
+            trace_ctx=self.trace_ctx,
         )
 
     @staticmethod
-    def user(sender: str, recipient: str, payload: Any) -> "Message":
+    def user(
+        sender: str,
+        recipient: str,
+        payload: Any,
+        *,
+        origin: Optional[str] = None,
+        trace_ctx: Optional[tuple[str, str]] = None,
+    ) -> "Message":
         """A user-defined message; CN merely delivers it."""
-        return Message(MessageType.USER, sender, recipient, payload)
+        return Message(
+            MessageType.USER,
+            sender,
+            recipient,
+            payload,
+            origin=origin,
+            trace_ctx=trace_ctx,
+        )

@@ -82,6 +82,30 @@ class MulticastBus:
         self.stats = BusStats()
         self._groups: Optional[dict[str, int]] = None
         self._delivery_index = 0
+        #: cluster Telemetry hub; set by Cluster wiring (None = no metrics)
+        self.telemetry: Optional[Any] = None
+
+    def set_telemetry(self, telemetry: Optional[Any]) -> None:
+        """Register a scrape-time collector that folds :class:`BusStats`
+        into the registry -- the publish/solicit hot paths already count
+        into plain ints, so per-event metric increments would only pay
+        the same cost twice."""
+        if telemetry is None or not telemetry.enabled:
+            self.telemetry = None
+            return
+        self.telemetry = telemetry
+        telemetry.metrics.add_collector(self._collect_bus_stats)
+
+    def _collect_bus_stats(self) -> None:
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        metrics = telemetry.metrics
+        metrics.counter("cn_bus_publishes_total")._set_total(self.stats.publishes)
+        metrics.counter("cn_bus_solicitations_total")._set_total(
+            self.stats.solicitations
+        )
+        metrics.counter("cn_bus_dropped_total")._set_total(self.stats.dropped)
 
     def subscribe(self, name: str, responder: Responder) -> None:
         with self._lock:

@@ -20,6 +20,7 @@ Two layers:
 
 from __future__ import annotations
 
+import io
 import json
 import threading
 import traceback
@@ -31,6 +32,7 @@ from repro.core.transform.pipeline import Pipeline
 
 from .cluster import Cluster
 from .registry import TaskRegistry
+from .telemetry import chrome_trace, write_jsonl
 
 __all__ = ["Portal", "Submission", "PortalHTTPServer", "main"]
 
@@ -57,6 +59,12 @@ class Submission:
     #: manager-failover adoptions recorded in the replicated job journal
     #: while this submission ran (job_id, successor, previous, epoch)
     failover_events: list[dict[str, Any]] = field(default_factory=list)
+    #: Chrome trace_event JSON for the jobs this submission ran (load in
+    #: chrome://tracing or Perfetto); empty when telemetry is disabled
+    timeline: str = ""
+    #: the same capture in the JSONL interchange format the
+    #: ``python -m repro.telemetry`` CLI consumes
+    telemetry_jsonl: str = ""
 
     def artifacts(self) -> dict[str, str]:
         return {
@@ -67,6 +75,8 @@ class Submission:
             "diagnostics": json.dumps(self.diagnostics, indent=2),
             "faults": json.dumps(self.fault_events, indent=2),
             "failovers": json.dumps(self.failover_events, indent=2),
+            "timeline": self.timeline,
+            "telemetry.jsonl": self.telemetry_jsonl,
         }
 
     def summary(self) -> dict[str, Any]:
@@ -120,6 +130,12 @@ class Portal:
         chaos = self.cluster.chaos
         faults_before = len(chaos.log_dicts()) if chaos is not None else 0
         adoptions_before = len(self._adoptions())
+        telemetry = self.cluster.telemetry
+        traces_before = (
+            set(telemetry.spans.trace_ids())
+            if telemetry is not None and telemetry.enabled
+            else set()
+        )
         try:
             from repro.core.xmi.reader import read_model
 
@@ -152,7 +168,36 @@ class Portal:
             if chaos is not None:
                 submission.fault_events = chaos.log_dicts()[faults_before:]
             submission.failover_events = self._adoptions()[adoptions_before:]
+        finally:
+            self._capture_timeline(submission, telemetry, traces_before)
         return submission
+
+    def _capture_timeline(
+        self, submission: Submission, telemetry: Any, traces_before: set
+    ) -> None:
+        """Snapshot the spans of the traces this submission created into
+        its timeline artifacts (partial runs included -- a failed
+        submission's timeline is exactly what you want to look at)."""
+        if telemetry is None or not telemetry.enabled:
+            return
+        new_traces = [
+            tid for tid in telemetry.spans.trace_ids() if tid not in traces_before
+        ]
+        if not new_traces:
+            return
+        spans = [span for tid in new_traces for span in telemetry.spans.spans(tid)]
+        submission.timeline = json.dumps(chrome_trace(spans), indent=1)
+        buffer = io.StringIO()
+        write_jsonl(buffer, spans=spans)
+        submission.telemetry_jsonl = buffer.getvalue()
+
+    def metrics_text(self) -> str:
+        """The cluster's metrics in Prometheus text format (empty when
+        telemetry is disabled) -- the body of ``GET /metrics``."""
+        telemetry = self.cluster.telemetry
+        if telemetry is None or not telemetry.enabled:
+            return ""
+        return telemetry.prometheus_text()
 
     def _adoptions(self) -> list[dict[str, Any]]:
         """All manager-failover adoptions visible in the cluster's
@@ -247,6 +292,13 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if parts == ["submissions"]:
             self._json(200, self.portal.list())
+            return
+        if parts == ["metrics"]:
+            self._send(
+                200,
+                self.portal.metrics_text().encode(),
+                "text/plain; version=0.0.4",
+            )
             return
         if len(parts) >= 2 and parts[0] == "submission":
             try:

@@ -47,6 +47,10 @@ class MessageQueue:
         self._put_index = 0
         self._delayed: list[Message] = []
         self._delay_lock = threading.Lock()
+        #: deepest the queue has ever been (telemetry samplers read this;
+        #: a high watermark survives the drain that a point-in-time depth
+        #: gauge would miss)
+        self.high_watermark = 0
 
     # -- producer side -----------------------------------------------------
     def put(self, message: Message) -> None:
@@ -68,8 +72,15 @@ class MessageQueue:
                 held, self._delayed = self._delayed, []
             for late in held:
                 self._queue.put(late)
+            self._note_depth()
             return
         self._queue.put(message)
+        self._note_depth()
+
+    def _note_depth(self) -> None:
+        depth = len(self)
+        if depth > self.high_watermark:
+            self.high_watermark = depth
 
     def close(self) -> None:
         """Close the queue; pending and future getters raise ShutdownError."""

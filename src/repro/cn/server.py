@@ -71,6 +71,17 @@ class CNServer:
         #: this node's replica of the write-ahead job journal (durability
         #: extension); None until the Cluster attaches one
         self.journal: Optional[ReplicatedJournal] = None
+        #: the cluster Telemetry hub (observability extension); None until
+        #: the Cluster wires one in via :meth:`set_telemetry`
+        self.telemetry = None
+
+    # -- telemetry -------------------------------------------------------------
+    def set_telemetry(self, telemetry) -> None:
+        """Hand the cluster's Telemetry hub to both components; a None (or
+        disabled) hub leaves every hot path uninstrumented."""
+        self.telemetry = telemetry
+        self.jobmanager.telemetry = telemetry
+        self.taskmanager.telemetry = telemetry
 
     # -- durability ------------------------------------------------------------
     def attach_durability(

@@ -121,6 +121,41 @@ class TaskContext:
         self.manager_epoch = manager_epoch
         self._checkpoint_save = checkpoint_save
         self._checkpoint_load = checkpoint_load
+        # telemetry bindings, set by the TaskManager when the cluster has
+        # an enabled Telemetry hub (None otherwise; every hook degrades
+        # to a no-op so task code never tests for telemetry itself)
+        self._telemetry: Optional[Any] = None
+        self._span: Optional[Any] = None
+        self._origin = node_name.split("/")[0]
+
+    # -- telemetry -------------------------------------------------------------
+    def bind_telemetry(self, telemetry: Any, span: Any) -> None:
+        """Attach this attempt's span + the metrics registry (TaskManager
+        hook; tasks use :meth:`event` / :meth:`counter`)."""
+        self._telemetry = telemetry
+        self._span = span
+
+    @property
+    def trace_ctx(self) -> tuple[str, str]:
+        """The causal context stamped on every message this task sends."""
+        if self._span is not None:
+            return (self._span.trace_id, self._span.span_id)
+        return (self.job_id, f"task:{self.task_name}")
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point event on this attempt's span (no-op without
+        telemetry) -- the in-task annotation channel for timelines."""
+        if self._telemetry is not None and self._span is not None:
+            self._telemetry.spans.add_event(self._span, name, **attrs)
+
+    def counter(self, name: str, **labels: Any) -> Any:
+        """A live counter from the cluster registry, or a no-op stand-in;
+        bind once outside loops (``hits = ctx.counter("app_hits")``)."""
+        if self._telemetry is not None:
+            return self._telemetry.metrics.counter(name, **labels)
+        from .telemetry.metrics import NULL_COUNTER
+
+        return NULL_COUNTER
 
     # -- DAG introspection ------------------------------------------------------
     def my_dependencies(self) -> list[str]:
@@ -142,14 +177,31 @@ class TaskContext:
             raise UnknownTaskError(
                 f"{self.task_name!r} cannot send to unknown task {recipient!r}"
             )
-        self._route(Message.user(self.task_name, recipient, payload))
+        self._route(
+            Message.user(
+                self.task_name,
+                recipient,
+                payload,
+                origin=self._origin,
+                trace_ctx=self.trace_ctx,
+            )
+        )
 
     def broadcast(self, payload: Any, *, include_self: bool = False) -> None:
         """Send a user-defined message to every task in the job."""
+        trace_ctx = self.trace_ctx
         for peer in self.peers:
             if peer == self.task_name and not include_self:
                 continue
-            self._route(Message.user(self.task_name, peer, payload))
+            self._route(
+                Message.user(
+                    self.task_name,
+                    peer,
+                    payload,
+                    origin=self._origin,
+                    trace_ctx=trace_ctx,
+                )
+            )
 
     def recv(self, timeout: Optional[float] = None) -> Message:
         """Next message addressed to this task (any type)."""
@@ -201,8 +253,12 @@ class TaskContext:
                     "tag": tag,
                     "attempt_epoch": self.attempt_epoch,
                 },
+                origin=self._origin,
+                trace_ctx=self.trace_ctx,
             )
         )
+        if self._span is not None:
+            self.event("resumed-from-checkpoint", tag=tag)
         return state
 
     def __repr__(self) -> str:

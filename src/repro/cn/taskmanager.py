@@ -88,6 +88,9 @@ class TaskManager:
         self._crashed = False
         self._beats = 0
         self._starts = 0
+        #: cluster Telemetry hub (set by CNServer wiring); attempt spans
+        #: are driven off job.telemetry, this is for node-level sampling
+        self.telemetry: Optional[Any] = None
 
     # -- capacity -----------------------------------------------------------
     @property
@@ -234,6 +237,8 @@ class TaskManager:
                 sender=self.name,
                 recipient="client",
                 payload={"task": name, "node": self.name},
+                origin=self.name.split("/")[0],
+                trace_ctx=(job.job_id, f"task:{name}"),
             )
         )
         thread.start()
@@ -276,6 +281,23 @@ class TaskManager:
         payload: dict[str, Any]
         runtime.attempts += 1
         attempt = runtime.attempts
+        t = job.telemetry
+        span = None
+        if t is not None:
+            # one attempt span per hosting epoch, sibling of any earlier
+            # attempts under the same logical task span
+            span = t.spans.begin(
+                job.job_id,
+                f"attempt:{runtime.name}#{hosted.epoch}",
+                name=f"{runtime.name}#{hosted.epoch}",
+                kind="attempt",
+                parent_id=f"task:{runtime.name}",
+                node=self.name.split("/")[0],
+                task=runtime.name,
+                epoch=hosted.epoch,
+                attempt=attempt,
+            )
+            context.bind_telemetry(t, span)
         retrying = False
         state = TaskState.COMPLETED
         result: Any = None
@@ -349,11 +371,32 @@ class TaskManager:
             payload = {"task": runtime.name, "result": result}
         finally:
             self._release(runtime)
-        if not self._apply_outcome(hosted, state, result, error):
+        applied = self._apply_outcome(hosted, state, result, error)
+        if span is not None:
+            if applied:
+                t.spans.end(span, state=state.value)
+                t.metrics.histogram(
+                    "cn_task_duration_seconds", node=self.name.split("/")[0]
+                ).observe(span.end - span.start)
+                t.metrics.counter(
+                    "cn_task_outcomes_total", outcome=state.value
+                ).inc()
+            else:
+                # the fence discarded this run; mark the span so the
+                # critical-path fold can skip it as a zombie
+                t.spans.end(span, fenced=True)
+        if not applied:
             return  # zombie attempt: node crashed / task re-placed; discard
         try:
             job.route(
-                Message(outcome_type, sender=self.name, recipient="client", payload=payload)
+                Message(
+                    outcome_type,
+                    sender=self.name,
+                    recipient="client",
+                    payload=payload,
+                    origin=self.name.split("/")[0],
+                    trace_ctx=(job.job_id, f"attempt:{runtime.name}#{hosted.epoch}"),
+                )
             )
         except ShutdownError:
             pass
@@ -505,6 +548,18 @@ class TaskManager:
             return len(
                 [h for h in self._hosted.values() if not h.runtime.state.terminal]
             )
+
+    def queued_messages(self) -> int:
+        """Messages sitting in this node's hosted task queues right now --
+        the per-node backpressure signal the telemetry samplers gauge."""
+        with self._lock:
+            hosted = list(self._hosted.values())
+        total = 0
+        for h in hosted:
+            queue = h.runtime.queue
+            if queue is not None and h.epoch == h.runtime.epoch:
+                total += len(queue)
+        return total
 
     def shutdown(self) -> None:
         with self._lock:

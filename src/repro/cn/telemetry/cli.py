@@ -1,0 +1,176 @@
+"""``python -m repro.telemetry`` -- inspect exported telemetry offline.
+
+Operates on the JSONL interchange files produced by
+``Telemetry.dump_jsonl`` (or the portal's per-submission timeline
+artifacts):
+
+* ``summarize trace.jsonl`` -- traces, span/metric counts, per-trace
+  makespans, top metric families;
+* ``critical-path trace.jsonl [--trace ID]`` -- the critical chain,
+  per-task slack, and coverage of the measured wall clock;
+* ``export trace.jsonl --format chrome|prometheus|jsonl [-o out]`` --
+  re-render a capture for ``chrome://tracing``/Perfetto or a scrape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import IO, Optional, Sequence
+
+from .critical_path import critical_path
+from .export import chrome_trace, read_jsonl, spans_to_jsonl
+from .spans import Span, orphan_spans
+
+__all__ = ["main"]
+
+
+def _load(path: str) -> tuple[list[Span], list[dict]]:
+    with open(path, encoding="utf-8") as handle:
+        return read_jsonl(handle)
+
+
+def _pick_trace(spans: list[Span], wanted: Optional[str]) -> str:
+    traces: dict[str, None] = {}
+    for span in spans:
+        traces.setdefault(span.trace_id)
+    if not traces:
+        raise SystemExit("no spans in input")
+    if wanted is None:
+        if len(traces) > 1:
+            names = ", ".join(traces)
+            raise SystemExit(f"multiple traces ({names}); pick one with --trace")
+        return next(iter(traces))
+    if wanted not in traces:
+        raise SystemExit(f"trace {wanted!r} not in input ({', '.join(traces)})")
+    return wanted
+
+
+def _cmd_summarize(args: argparse.Namespace, out: IO[str]) -> int:
+    spans, metrics = _load(args.input)
+    traces: dict[str, list[Span]] = {}
+    for span in spans:
+        traces.setdefault(span.trace_id, []).append(span)
+    out.write(
+        f"{args.input}: {len(spans)} span(s), {len(metrics)} metric(s), "
+        f"{len(traces)} trace(s)\n"
+    )
+    for trace_id, members in traces.items():
+        job = next((s for s in members if s.kind == "job"), None)
+        makespan = job.duration if job is not None else None
+        attempts = sum(1 for s in members if s.kind == "attempt")
+        orphans = len(orphan_spans(members))
+        shape = "connected" if orphans == 0 else f"{orphans} ORPHAN(S)"
+        span_word = f"{len(members)} span(s), {attempts} attempt(s), {shape}"
+        if makespan is not None:
+            out.write(f"  trace {trace_id}: {span_word}, makespan {makespan:.4f}s\n")
+        else:
+            out.write(f"  trace {trace_id}: {span_word}, still open\n")
+    families: dict[str, float] = {}
+    for record in metrics:
+        if record.get("kind_") != "histogram" and "value" in record:
+            families[record["name"]] = families.get(record["name"], 0.0) + float(
+                record["value"]
+            )
+    for name in sorted(families):
+        out.write(f"  metric {name}: {families[name]:g}\n")
+    return 0
+
+
+def _cmd_critical_path(args: argparse.Namespace, out: IO[str]) -> int:
+    spans, _ = _load(args.input)
+    trace_id = _pick_trace(spans, args.trace)
+    result = critical_path(spans, trace_id=trace_id)
+    if args.json:
+        json.dump(result.to_dict(), out, indent=2)
+        out.write("\n")
+        return 0
+    out.write(f"trace {trace_id}\n")
+    out.write(
+        f"makespan {result.makespan:.4f}s, critical path "
+        f"{result.path_duration:.4f}s ({result.coverage:.0%} coverage)\n"
+    )
+    for interval in result.path:
+        slack = result.slack.get(interval.task, 0.0)
+        node = interval.node or "?"
+        out.write(
+            f"  {interval.task:<16} {interval.duration:8.4f}s  "
+            f"x{interval.attempts} on {node:<8} slack {slack:.4f}s\n"
+        )
+    off_path = sorted(
+        (t for t in result.intervals if t not in set(result.task_names)),
+        key=lambda t: result.slack.get(t, 0.0),
+    )
+    for task in off_path:
+        out.write(
+            f"  ({task:<14} {result.intervals[task].duration:8.4f}s  "
+            f"slack {result.slack.get(task, 0.0):.4f}s)\n"
+        )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace, out: IO[str]) -> int:
+    spans, metrics = _load(args.input)
+    if args.trace is not None:
+        spans = [s for s in spans if s.trace_id == args.trace]
+    sink = open(args.output, "w", encoding="utf-8") if args.output else out
+    try:
+        if args.format == "chrome":
+            json.dump(chrome_trace(spans), sink, indent=1)
+            sink.write("\n")
+        elif args.format == "prometheus":
+            # re-render metric records scraped into the capture
+            for record in metrics:
+                labels = record.get("labels") or {}
+                body = ",".join(
+                    f'{k}="{v}"' for k, v in sorted(labels.items())
+                )
+                suffix = "{" + body + "}" if body else ""
+                value = record.get("value", record.get("sum", 0.0))
+                sink.write(f"{record['name']}{suffix} {value}\n")
+        else:  # jsonl passthrough (filtered by --trace)
+            for line in spans_to_jsonl(spans):
+                sink.write(line + "\n")
+            for record in metrics:
+                sink.write(json.dumps(record, default=str) + "\n")
+    finally:
+        if args.output:
+            sink.close()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out: IO[str] = sys.stdout) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Inspect CN telemetry captures (JSONL).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summarize", help="traces, spans, metrics at a glance")
+    p.add_argument("input", help="JSONL capture file")
+    p.set_defaults(func=_cmd_summarize)
+
+    p = sub.add_parser("critical-path", help="critical chain + slack per task")
+    p.add_argument("input", help="JSONL capture file")
+    p.add_argument("--trace", help="trace (job) id when the capture holds several")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_critical_path)
+
+    p = sub.add_parser("export", help="re-render a capture in another format")
+    p.add_argument("input", help="JSONL capture file")
+    p.add_argument(
+        "--format",
+        choices=("chrome", "prometheus", "jsonl"),
+        default="chrome",
+    )
+    p.add_argument("--trace", help="restrict to one trace id")
+    p.add_argument("-o", "--output", help="output file (default stdout)")
+    p.set_defaults(func=_cmd_export)
+
+    args = parser.parse_args(argv)
+    return args.func(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

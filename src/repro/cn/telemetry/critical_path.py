@@ -1,0 +1,230 @@
+"""Critical-path analysis: where a composed job's wall-clock time went.
+
+The paper's evaluation (Sec. 5) argues speedups from the composed
+Floyd job's structure; this module computes the measured counterpart.
+Given one trace's spans plus the task dependency DAG (recorded on the
+job span's ``deps`` attribute by the JobManager), it folds them into:
+
+* the **critical path** -- the dependency-ordered chain of tasks that
+  determined the job's makespan, found by walking backwards from the
+  last-finishing task through the latest-finishing dependency;
+* per-task **slack** -- how much each task could stretch without moving
+  the makespan (classic CPM forward/backward pass over the measured
+  durations); critical-path tasks have ~zero slack;
+* **coverage** -- sum of critical-path span durations over the measured
+  makespan.  Near 1.0 means the path explains the wall clock; a low
+  value flags scheduling gaps (placement stalls, retry backoff) the
+  span tree can then localize.
+
+Task timing comes from the attempt spans: a task's interval runs from
+its first attempt's start to its last un-fenced attempt's end, so retry
+storms count against the task that suffered them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from .spans import Span
+
+__all__ = ["TaskInterval", "CriticalPath", "critical_path", "task_intervals"]
+
+
+@dataclass(frozen=True)
+class TaskInterval:
+    """Measured execution window of one task (across its attempts)."""
+
+    task: str
+    start: float
+    end: float
+    attempts: int
+    node: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPath:
+    """The folded result for one job trace."""
+
+    trace_id: str
+    #: dependency-ordered critical chain, first task first
+    path: list[TaskInterval] = field(default_factory=list)
+    #: sum of the path tasks' measured durations
+    path_duration: float = 0.0
+    #: measured job makespan (job span duration, else observed envelope)
+    makespan: float = 0.0
+    #: per-task slack in seconds (CPM); path members are ~0
+    slack: dict[str, float] = field(default_factory=dict)
+    #: every task's measured interval
+    intervals: dict[str, TaskInterval] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """path_duration / makespan (0 when the makespan is unknown)."""
+        return self.path_duration / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def task_names(self) -> list[str]:
+        return [interval.task for interval in self.path]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "path": [
+                {
+                    "task": i.task,
+                    "start": i.start,
+                    "end": i.end,
+                    "duration": i.duration,
+                    "attempts": i.attempts,
+                    "node": i.node,
+                }
+                for i in self.path
+            ],
+            "path_duration": self.path_duration,
+            "makespan": self.makespan,
+            "coverage": self.coverage,
+            "slack": dict(self.slack),
+        }
+
+
+def task_intervals(spans: Iterable[Span]) -> dict[str, TaskInterval]:
+    """Fold attempt spans into one measured interval per task."""
+    per_task: dict[str, list[Span]] = {}
+    for span in spans:
+        if span.kind != "attempt" or span.end is None:
+            continue
+        task = span.attrs.get("task")
+        if not task:
+            continue
+        per_task.setdefault(task, []).append(span)
+    intervals: dict[str, TaskInterval] = {}
+    for task, attempts in per_task.items():
+        attempts.sort(key=lambda s: s.start)
+        # fenced attempts (zombies discarded by the epoch fence) still
+        # consumed time but did not produce the result; the *end* comes
+        # from the last effective attempt when one is marked
+        effective = [a for a in attempts if not a.attrs.get("fenced")]
+        last = effective[-1] if effective else attempts[-1]
+        intervals[task] = TaskInterval(
+            task=task,
+            start=attempts[0].start,
+            end=last.end if last.end is not None else attempts[-1].end,  # type: ignore[arg-type]
+            attempts=len(attempts),
+            node=last.node,
+        )
+    return intervals
+
+
+def _deps_from_spans(spans: Sequence[Span]) -> dict[str, tuple[str, ...]]:
+    for span in spans:
+        if span.kind == "job":
+            deps = span.attrs.get("deps")
+            if isinstance(deps, Mapping):
+                return {str(t): tuple(d) for t, d in deps.items()}
+    return {}
+
+
+def critical_path(
+    spans: Iterable[Span],
+    deps: Optional[Mapping[str, Sequence[str]]] = None,
+    *,
+    trace_id: Optional[str] = None,
+) -> CriticalPath:
+    """Fold one trace's spans (+ task DAG) into its critical path.
+
+    *deps* maps each task to the tasks it depends on; when omitted it is
+    read from the job span's ``deps`` attribute (the JobManager records
+    it there as tasks are added, so exported traces are self-contained).
+    """
+    spans = list(spans)
+    if trace_id is not None:
+        spans = [s for s in spans if s.trace_id == trace_id]
+    if not spans:
+        return CriticalPath(trace_id=trace_id or "")
+    tid = trace_id if trace_id is not None else spans[0].trace_id
+    dag = (
+        {str(t): tuple(d) for t, d in deps.items()}
+        if deps is not None
+        else _deps_from_spans(spans)
+    )
+    intervals = task_intervals(spans)
+    result = CriticalPath(trace_id=tid, intervals=intervals)
+    if not intervals:
+        return result
+
+    job_span = next((s for s in spans if s.kind == "job"), None)
+    if job_span is not None and job_span.duration is not None:
+        result.makespan = job_span.duration
+    else:
+        result.makespan = max(i.end for i in intervals.values()) - min(
+            i.start for i in intervals.values()
+        )
+
+    # -- backward walk over measured finish times -> the critical chain
+    measured_deps = {
+        task: tuple(d for d in dag.get(task, ()) if d in intervals)
+        for task in intervals
+    }
+    current: Optional[str] = max(intervals, key=lambda t: (intervals[t].end, t))
+    chain: list[TaskInterval] = []
+    seen: set[str] = set()
+    while current is not None and current not in seen:
+        seen.add(current)
+        chain.append(intervals[current])
+        preds = measured_deps.get(current, ())
+        current = (
+            max(preds, key=lambda t: (intervals[t].end, t)) if preds else None
+        )
+    chain.reverse()
+    result.path = chain
+    result.path_duration = sum(i.duration for i in chain)
+
+    # -- CPM slack over measured durations ---------------------------------
+    duration = {t: intervals[t].duration for t in intervals}
+    est: dict[str, float] = {}
+
+    def earliest(task: str, visiting: tuple[str, ...] = ()) -> float:
+        if task in est:
+            return est[task]
+        if task in visiting:  # defensive: the analyzer rejects cycles
+            return 0.0
+        preds = measured_deps.get(task, ())
+        value = max(
+            (earliest(p, visiting + (task,)) + duration[p] for p in preds),
+            default=0.0,
+        )
+        est[task] = value
+        return value
+
+    for task in intervals:
+        earliest(task)
+    eft = {t: est[t] + duration[t] for t in intervals}
+    cpm_makespan = max(eft.values())
+    dependents: dict[str, list[str]] = {t: [] for t in intervals}
+    for task, preds in measured_deps.items():
+        for p in preds:
+            dependents[p].append(task)
+    lft: dict[str, float] = {}
+
+    def latest(task: str, visiting: tuple[str, ...] = ()) -> float:
+        if task in lft:
+            return lft[task]
+        if task in visiting:
+            return cpm_makespan
+        succs = dependents.get(task, ())
+        value = min(
+            (latest(s, visiting + (task,)) - duration[s] for s in succs),
+            default=cpm_makespan,
+        )
+        lft[task] = value
+        return value
+
+    for task in intervals:
+        latest(task)
+    result.slack = {t: max(0.0, lft[t] - eft[t]) for t in intervals}
+    return result

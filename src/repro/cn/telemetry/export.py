@@ -1,0 +1,230 @@
+"""Exporters: Prometheus text, Chrome ``trace_event`` JSON, and JSONL.
+
+Three consumers, three formats:
+
+* **Prometheus text** (``prometheus_text``) -- scrapeable via the
+  portal's ``GET /metrics``; counters/gauges as single samples,
+  histograms as ``_bucket``/``_sum``/``_count`` families.
+* **Chrome trace_event JSON** (``chrome_trace``) -- load in
+  ``chrome://tracing`` or Perfetto.  Spans become ``"X"`` (complete)
+  events grouped by trace (process row) and node (thread row); span
+  point-events become ``"i"`` (instant) events.  ``args`` carries
+  ``span_id``/``parent_id``/``trace_id`` so the structural tests can
+  rebuild the tree from the exported file alone.
+* **JSONL** (``write_jsonl``/``read_jsonl``) -- one self-describing
+  object per line (``{"kind": "span", ...}`` / ``{"kind": "metric",
+  ...}``), the interchange format the ``python -m repro.telemetry``
+  CLI consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Iterable, Optional, Union
+
+from .metrics import MetricsRegistry, merge_label_sets
+from .spans import Span
+
+__all__ = [
+    "prometheus_text",
+    "chrome_trace",
+    "spans_to_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+
+# -- Prometheus text format --------------------------------------------------
+
+def _fmt_labels(labels: dict[str, str], extra: Optional[dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{str(value)}"' for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every registered metric in the Prometheus text format."""
+    lines: list[str] = []
+    for name, family in sorted(merge_label_sets(registry.all_metrics()).items()):
+        kind = family[0].kind
+        lines.append(f"# TYPE {name} {kind}")
+        for metric in family:
+            if kind == "histogram":
+                for bound, count in metric.bucket_counts():
+                    le = {"le": _fmt_value(float(bound))}
+                    lines.append(
+                        f"{name}_bucket{_fmt_labels(metric.labels, le)} {count}"
+                    )
+                lines.append(
+                    f"{name}_sum{_fmt_labels(metric.labels)} {metric.sum!r}"
+                )
+                lines.append(
+                    f"{name}_count{_fmt_labels(metric.labels)} {metric.count}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_fmt_labels(metric.labels)} "
+                    f"{_fmt_value(metric.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+# -- Chrome trace_event JSON -------------------------------------------------
+
+def chrome_trace(spans: Iterable[Span]) -> dict[str, Any]:
+    """Spans -> Chrome ``trace_event`` dict (dump with ``json.dump``).
+
+    Timestamps are microseconds relative to the earliest span start, so
+    the viewer timeline starts at zero regardless of the monotonic-clock
+    origin.  Process rows are traces (jobs); thread rows are nodes.
+    """
+    spans = [s for s in spans]
+    events: list[dict[str, Any]] = []
+    if not spans:
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+    origin = min(s.start for s in spans)
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+
+    def pid_of(trace_id: str) -> int:
+        if trace_id not in pids:
+            pids[trace_id] = len(pids) + 1
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pids[trace_id],
+                    "tid": 0,
+                    "args": {"name": f"trace {trace_id}"},
+                }
+            )
+        return pids[trace_id]
+
+    def tid_of(trace_id: str, node: Optional[str]) -> int:
+        label = node or "manager"
+        key = (trace_id, label)
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid_of(trace_id),
+                    "tid": tids[key],
+                    "args": {"name": label},
+                }
+            )
+        return tids[key]
+
+    def usec(ts: float) -> float:
+        return (ts - origin) * 1e6
+
+    last = max(s.end if s.end is not None else s.start for s in spans)
+    for span in spans:
+        pid = pid_of(span.trace_id)
+        tid = tid_of(span.trace_id, span.node)
+        end = span.end if span.end is not None else last
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": usec(span.start),
+                "dur": max(0.0, usec(end) - usec(span.start)),
+                "args": {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    **{k: v for k, v in span.attrs.items() if _jsonable(v)},
+                },
+            }
+        )
+        for ts, name, attrs in span.events:
+            events.append(
+                {
+                    "name": name,
+                    "cat": span.kind,
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": usec(ts),
+                    "args": {
+                        "span_id": span.span_id,
+                        **{k: v for k, v in attrs.items() if _jsonable(v)},
+                    },
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _jsonable(value: Any) -> bool:
+    try:
+        json.dumps(value)
+        return True
+    except (TypeError, ValueError):
+        return False
+
+
+# -- JSONL interchange -------------------------------------------------------
+
+def spans_to_jsonl(spans: Iterable[Span]) -> list[str]:
+    # the discriminator is "rec", not "kind": spans and metrics both have
+    # a domain "kind" of their own (job/task/..., counter/gauge/...)
+    return [
+        json.dumps({"rec": "span", **span.to_dict()}, default=str)
+        for span in spans
+    ]
+
+
+def write_jsonl(
+    stream: IO[str],
+    *,
+    spans: Iterable[Span] = (),
+    registry: Optional[MetricsRegistry] = None,
+) -> int:
+    """Write spans (and optionally a metrics snapshot) as JSONL lines."""
+    written = 0
+    for line in spans_to_jsonl(spans):
+        stream.write(line + "\n")
+        written += 1
+    if registry is not None:
+        for record in registry.snapshot():
+            stream.write(json.dumps({"rec": "metric", **record}, default=str))
+            stream.write("\n")
+            written += 1
+    return written
+
+
+def read_jsonl(
+    source: Union[IO[str], Iterable[str]],
+) -> tuple[list[Span], list[dict[str, Any]]]:
+    """Parse a JSONL export back into (spans, metric records)."""
+    spans: list[Span] = []
+    metrics: list[dict[str, Any]] = []
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("rec") == "span":
+            spans.append(Span.from_dict(record))
+        elif record.get("rec") == "metric":
+            metrics.append(record)
+    return spans, metrics

@@ -1,0 +1,69 @@
+"""Per-node samplers: turn cluster state into gauges on each tick.
+
+``Cluster.tick`` calls :func:`sample_cluster` once per step (when
+telemetry is enabled), refreshing per-node gauges:
+
+* ``cn_node_free_memory`` / ``cn_node_free_slots`` -- placement headroom
+  as the JobManagers' best-fit scoring sees it;
+* ``cn_node_hosted_tasks`` -- tasks currently hosted by the node;
+* ``cn_node_queued_messages`` -- messages sitting in the node's hosted
+  task queues (backpressure signal);
+* ``cn_node_heartbeat_misses`` -- consecutive missed heartbeats as seen
+  by the watching failure detectors (max over watchers), i.e. how close
+  each node is to being declared dead;
+* ``cn_node_alive`` -- 1/0 liveness flag;
+* ``cn_cluster_ticks_total`` -- detection periods elapsed.
+
+Everything is duck-typed against the ``Cluster``/``CNServer`` surface
+(``alive_servers``, ``taskmanager``, ``jobmanager``) so this module
+never imports the runtime -- the runtime imports *us*.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .metrics import MetricsRegistry
+
+__all__ = ["sample_cluster", "sample_node"]
+
+
+def sample_node(
+    registry: MetricsRegistry, server: Any, *, alive: bool = True
+) -> None:
+    """Refresh one node's gauges from its TaskManager state."""
+    node = server.name
+    registry.gauge("cn_node_alive", node=node).set(1.0 if alive else 0.0)
+    tm = getattr(server, "taskmanager", None)
+    if tm is None:
+        return
+    registry.gauge("cn_node_free_memory", node=node).set(tm.free_memory)
+    registry.gauge("cn_node_free_slots", node=node).set(tm.free_slots)
+    hosted = getattr(tm, "hosted_count", None)
+    if callable(hosted):
+        registry.gauge("cn_node_hosted_tasks", node=node).set(hosted())
+    queued = getattr(tm, "queued_messages", None)
+    if callable(queued):
+        registry.gauge("cn_node_queued_messages", node=node).set(queued())
+
+
+def sample_cluster(registry: MetricsRegistry, cluster: Any) -> None:
+    """Refresh every node's gauges plus cluster-level counters."""
+    alive = {server.name for server in cluster.alive_servers()}
+    misses: dict[str, int] = {}
+    for server in cluster.servers:
+        jm = getattr(server, "jobmanager", None)
+        detector = getattr(jm, "failure_detector", None)
+        if detector is None or server.name not in alive:
+            continue
+        for peer in cluster.servers:
+            if peer.name == server.name:
+                continue
+            seen = detector.misses(peer.name)
+            misses[peer.name] = max(misses.get(peer.name, 0), seen)
+    for server in cluster.servers:
+        sample_node(registry, server, alive=server.name in alive)
+        registry.gauge("cn_node_heartbeat_misses", node=server.name).set(
+            misses.get(server.name, 0)
+        )
+    registry.counter("cn_cluster_ticks_total").inc()

@@ -85,13 +85,19 @@ def clear_undeliverable() -> None:
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One lifecycle event, ordered by the message's logical serial."""
+    """One lifecycle event, ordered by the message's logical serial.
+
+    ``ts`` carries the producing message's monotonic timestamp (0.0 for
+    messages predating the timing extension); ordering must keep using
+    ``serial``, the logical clock.
+    """
 
     serial: int
     kind: str  # created | started | completed | failed | retry | cancelled | job-created | status
     task: Optional[str]
     node: Optional[str]
     detail: dict
+    ts: float = 0.0
 
 
 @dataclass
@@ -180,22 +186,27 @@ def collect_trace(handle: JobHandle) -> JobTrace:
 
 
 def _to_event(message: Message) -> Optional[TraceEvent]:
+    ts = getattr(message, "ts", 0.0)
     if message.type == MessageType.JOB_CREATED:
-        return TraceEvent(message.serial, "job-created", None, None, dict(message.payload or {}))
+        return TraceEvent(
+            message.serial, "job-created", None, None, dict(message.payload or {}), ts
+        )
     if message.type == MessageType.STATUS:
-        return TraceEvent(message.serial, "status", None, None, dict(message.payload or {}))
+        return TraceEvent(
+            message.serial, "status", None, None, dict(message.payload or {}), ts
+        )
     if message.type == MessageType.NODE_FAILED:
         payload = message.payload if isinstance(message.payload, dict) else {}
         return TraceEvent(
-            message.serial, "node-failed", None, payload.get("node"), dict(payload)
+            message.serial, "node-failed", None, payload.get("node"), dict(payload), ts
         )
     if message.type == MessageType.JOB_DEGRADED:
         return TraceEvent(
-            message.serial, "degraded", None, None, dict(message.payload or {})
+            message.serial, "degraded", None, None, dict(message.payload or {}), ts
         )
     if message.type == MessageType.MANAGER_ADOPTED:
         return TraceEvent(
-            message.serial, "adopted", None, None, dict(message.payload or {})
+            message.serial, "adopted", None, None, dict(message.payload or {}), ts
         )
     kind = _LIFECYCLE.get(message.type)
     if kind is None:
@@ -207,6 +218,7 @@ def _to_event(message: Message) -> Optional[TraceEvent]:
         payload.get("task"),
         payload.get("node"),
         {k: v for k, v in payload.items() if k not in ("task", "node", "result")},
+        ts,
     )
 
 

@@ -1,0 +1,3 @@
+from repro.cn.telemetry.cli import main
+
+raise SystemExit(main())

@@ -68,8 +68,12 @@ class TestPortalService:
             "diagnostics",
             "faults",
             "failovers",
+            "timeline",
+            "telemetry.jsonl",
         }
         assert artifacts["xmi"].startswith("<XMI")
+        # the submission ran a traced job, so the timeline is populated
+        assert json.loads(artifacts["timeline"])["traceEvents"]
         assert json.loads(artifacts["diagnostics"]) == []
         assert json.loads(artifacts["faults"]) == []
         assert json.loads(artifacts["failovers"]) == []

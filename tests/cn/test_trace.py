@@ -11,8 +11,6 @@ from repro.cn import (
     render_timeline,
 )
 
-from ..conftest import basic_registry
-
 
 @pytest.fixture
 def finished_handle(cluster):
@@ -110,3 +108,49 @@ class TestRender:
     def test_timeline_deterministic_order(self, finished_handle):
         trace = collect_trace(finished_handle)
         assert render_timeline(trace) == render_timeline(trace)
+
+
+class TestUndeliverableIsolation:
+    """Regression: the process-global undeliverable log must not leak
+    entries across tests (the autouse fixture clears it both ways)."""
+
+    def _leak_one(self):
+        from repro.cn.errors import ShutdownError
+        from repro.cn.messages import Message, MessageType
+        from repro.cn.trace import note_undeliverable, undeliverable_events
+
+        note_undeliverable(
+            "leaky-job",
+            Message(MessageType.STATUS, "jm", "client"),
+            ShutdownError("queue closed"),
+        )
+        assert len(undeliverable_events()) == 1
+
+    def test_first_leaks(self):
+        self._leak_one()
+
+    def test_second_starts_clean(self):
+        # ordered after test_first_leaks within the class; without the
+        # autouse clear fixture this would see the leaked entry
+        from repro.cn.trace import undeliverable_events
+
+        assert undeliverable_events() == []
+        self._leak_one()
+
+    def test_third_also_clean(self):
+        from repro.cn.trace import undeliverable_events
+
+        assert undeliverable_events() == []
+
+
+class TestEventTimestamps:
+    def test_lifecycle_events_carry_monotonic_ts(self, finished_handle):
+        trace = collect_trace(finished_handle)
+        stamped = [e for e in trace.events if e.kind in ("started", "completed")]
+        assert stamped and all(e.ts > 0 for e in stamped)
+        # within one task, completion cannot precede the start
+        for name, task in trace.tasks.items():
+            starts = [e.ts for e in trace.events if e.task == name and e.kind == "started"]
+            dones = [e.ts for e in trace.events if e.task == name and e.kind == "completed"]
+            if starts and dones:
+                assert max(dones) >= min(starts)
