@@ -85,11 +85,17 @@ class TaskSplit(Task):
         else:
             idx = np.arange(n)
             dist[idx, idx] = np.minimum(dist[idx, idx], 0.0)
-        for worker, (start, end) in zip(workers, ranges):
-            ctx.send(
-                worker,
-                ("rows", start, dist[start:end].copy(), n, list(workers), self.mode),
-            )
+        # one data-plane fan-out for the whole init scatter: each worker
+        # gets its own payload, but the routing/journal cost is batched
+        ctx.send_many(
+            [
+                (
+                    worker,
+                    ("rows", start, dist[start:end].copy(), n, list(workers), self.mode),
+                )
+                for worker, (start, end) in zip(workers, ranges)
+            ]
+        )
         return {"n": n, "workers": len(workers), "mode": self.mode}
 
 
@@ -169,12 +175,17 @@ class TCTask(Task):
             owner = _owner_of_row(k, ranges)
             if owner == me:
                 row_k = block[k - my_start].copy()
-                sent = 0
-                for peer_index, peer in enumerate(workers):
-                    if peer_index != me and ranges[peer_index][0] < ranges[peer_index][1]:
-                        ctx.send(peer, ("row", k, row_k))
-                        sent += 1
-                if sent:  # one batched bump per round, not one per peer
+                # the paper's "broadcast it": one multicast fan-out -- all
+                # recipients share the row payload by reference, so it is
+                # sized once and journaled once per round (not per peer)
+                targets = [
+                    peer
+                    for peer_index, peer in enumerate(workers)
+                    if peer_index != me
+                    and ranges[peer_index][0] < ranges[peer_index][1]
+                ]
+                if targets:
+                    sent = ctx.multicast(targets, ("row", k, row_k))
                     rows_broadcast.inc(sent)
             else:
                 message = ctx.recv_matching(

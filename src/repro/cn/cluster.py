@@ -63,6 +63,7 @@ class Cluster(AbstractContextManager):
         durable: bool = True,
         journal_factory: Optional[Callable[[str], MemoryJournal]] = None,
         journal_dir: Optional[str] = None,
+        journal_group_commit: int = 0,
         telemetry: Optional[Telemetry] = _DEFAULT,  # type: ignore[assignment]
     ) -> None:
         if nodes < 1:
@@ -114,6 +115,9 @@ class Cluster(AbstractContextManager):
                 lambda name=server.name: self.kill_node(name)
             )
             server.set_telemetry(active)
+            # optional journal group-commit (delivery records buffered and
+            # batched; flushed on non-delivery events + the tick barrier)
+            server.jobmanager.journal_group_commit = max(0, journal_group_commit)
             if self.durable:
                 backend = (
                     journal_factory(server.name)

@@ -63,6 +63,8 @@ RECORD_KINDS = (
     "task-placed",   # task, node, epoch              -- placement
     "task-state",    # task, state, attempts, result?, error?
     "delivery",      # message (Message)              -- ledger entry
+    "delivery_batch",  # messages (list[Message])     -- one fan-out, batched
+    "ledger-gc",     # task, upto                     -- ledger truncation
     "checkpoint",    # task, tag, state               -- application state
     "job-finished",  # failed (bool)
 )
@@ -378,6 +380,8 @@ class JobSnapshot:
     epochs: dict[str, int] = field(default_factory=dict)
     nodes: dict[str, str] = field(default_factory=dict)
     deliveries: dict[str, list[Message]] = field(default_factory=dict)
+    #: cumulative per-task ledger-GC truncation counts (see ``ledger-gc``)
+    gc_watermarks: dict[str, int] = field(default_factory=dict)
     checkpoints: dict[str, tuple[Any, Any]] = field(default_factory=dict)
     finished: bool = False
     failed: bool = False
@@ -445,6 +449,27 @@ def replay_job(job_id: str, records: Iterable[JournalRecord]) -> JobSnapshot:
         elif kind == "delivery":
             message = data["message"]
             snapshot.deliveries.setdefault(message.recipient, []).append(message)
+        elif kind == "delivery_batch":
+            # one record per fan-out: unpack in order -- the snapshot is
+            # identical to the per-message `delivery` encoding
+            for message in data["messages"]:
+                snapshot.deliveries.setdefault(message.recipient, []).append(
+                    message
+                )
+        elif kind == "ledger-gc":
+            # the manager truncated a terminal task's ledger; `upto` is
+            # the cumulative count of entries dropped for that task, so
+            # replay drops exactly the not-yet-dropped prefix (idempotent
+            # under record duplication and monotone across adoptions)
+            task = data["task"]
+            upto = int(data.get("upto", 0))
+            already = snapshot.gc_watermarks.get(task, 0)
+            drop = upto - already
+            if drop > 0:
+                messages = snapshot.deliveries.get(task)
+                if messages:
+                    del messages[:drop]
+                snapshot.gc_watermarks[task] = upto
         elif kind == "checkpoint":
             snapshot.checkpoints[data["task"]] = (data.get("tag"), data.get("state"))
         elif kind == "job-finished":

@@ -30,7 +30,55 @@ from .queues import MessageQueue
 from .runmodel import RunModel
 from .tuplespace import TupleSpace
 
-__all__ = ["TaskSpec", "TaskState", "TaskRuntime", "Job"]
+__all__ = ["TaskSpec", "TaskState", "TaskRuntime", "Job", "payload_nbytes"]
+
+#: recursion guard for :func:`payload_nbytes` on nested containers
+_SIZE_DEPTH_LIMIT = 12
+
+
+def payload_nbytes(payload: Any, _depth: int = 0) -> Optional[int]:
+    """Estimate a payload's wire size without serializing it.
+
+    The data plane's accounting only needs a size *estimate*; paying a
+    full ``pickle.dumps`` per routed message is the dominant CPU cost of
+    a broadcast round.  This fast path covers the payload shapes the CN
+    applications actually send -- buffers (``len``), numpy blocks
+    (``.nbytes``), scalars, and containers of those -- and returns None
+    for anything it cannot size, in which case the caller falls back to
+    pickling.
+    """
+    if payload is None:
+        return 1
+    t = type(payload)
+    if t is bool:
+        return 1
+    if t is int or t is float or t is complex:
+        return 8
+    if t is str or t is bytes or t is bytearray:
+        return len(payload)
+    nbytes = getattr(payload, "nbytes", None)
+    if isinstance(nbytes, int):
+        return nbytes  # numpy arrays/scalars, memoryview
+    if _depth >= _SIZE_DEPTH_LIMIT:
+        return None
+    if t is tuple or t is list or t is set or t is frozenset:
+        total = 8
+        for item in payload:
+            size = payload_nbytes(item, _depth + 1)
+            if size is None:
+                return None
+            total += size + 8
+        return total
+    if t is dict:
+        total = 8
+        for key, value in payload.items():
+            key_size = payload_nbytes(key, _depth + 1)
+            value_size = payload_nbytes(value, _depth + 1)
+            if key_size is None or value_size is None:
+                return None
+            total += key_size + value_size + 16
+        return total
+    return None
 
 
 @dataclass(frozen=True)
@@ -134,18 +182,47 @@ class Job:
         self.telemetry: Optional[Any] = None
         self._m_routed: Optional[Any] = None
         self._m_payload: Optional[Any] = None
+        self._m_unsized: Optional[Any] = None
         # communication accounting (simulated wire volume): counts every
         # routed message and estimates its payload size -- the observable
         # the paper's row-k broadcast analysis (section 2) predicts
         self.messages_routed = 0
         self.payload_bytes = 0
+        #: size computations actually performed (one per *unique* payload
+        #: per fan-out -- interning makes a W-1 broadcast cost 1)
+        self.payload_sizings = 0
+        #: sizings avoided because the payload object was already sized
+        #: within the same fan-out (shared-by-reference broadcast payloads)
+        self.payload_reuses = 0
+        #: sizings that had to fall back to pickling (no fast-size path)
+        self.payloads_pickle_sized = 0
+        #: payloads that could not be sized at all (unpicklable); their
+        #: wire volume is lost from the accounting, so it is counted
+        self.payloads_unsized = 0
         #: messages re-delivered into fresh queues after a re-placement
         #: (not part of the paper's wire-volume accounting)
         self.messages_replayed = 0
         # per-task delivery ledger: everything ever routed to each task,
         # replayed into the fresh queue when a task is re-placed after a
-        # crash so restarted attempts see the full message history
+        # crash so restarted attempts see the full message history.
+        # Entries for a task are truncated (GC'd) once the task reaches a
+        # terminal state at its current epoch -- terminal tasks are never
+        # re-placed, so their history can never be replayed again.
         self._delivery_log: dict[str, list[Message]] = {}
+        #: cumulative count of ledger entries truncated per task (the GC
+        #: watermark journaled so successor managers agree)
+        self._gc_watermarks: dict[str, int] = {}
+        # ledger occupancy accounting (resident = entries currently held;
+        # peak = high-watermark; truncated = total entries GC'd)
+        self.ledger_resident = 0
+        self.ledger_peak = 0
+        self.ledger_truncated = 0
+        # optional journal group-commit: when > 0, delivery records are
+        # buffered and flushed as one delivery_batch append per at most
+        # `_delivery_batching` messages (and on task-terminal, checkpoint,
+        # and tick barriers).  0 = write-ahead per fan-out (default).
+        self._delivery_batching = 0
+        self._pending_journal_deliveries: list[Message] = []
         #: manager epoch: bumped when a successor JobManager adopts this
         #: job after a failover; stamps every journal record so a zombie
         #: manager's late writes are fenced out (see repro.cn.durability)
@@ -167,11 +244,13 @@ class Job:
             self.telemetry = None
             self._m_routed = None
             self._m_payload = None
+            self._m_unsized = None
             return
         self.telemetry = telemetry
         self._m_routed = telemetry.metrics.counter(
             "cn_messages_routed_total", job=self.job_id
         )
+        self._m_unsized = telemetry.metrics.counter("cn_payload_unsized_total")
         from .telemetry.metrics import BYTES_BUCKETS
 
         self._m_payload = telemetry.metrics.histogram(
@@ -184,10 +263,57 @@ class Job:
         self._journal = hook
 
     def journal_event(self, kind: str, data: dict) -> None:
-        """Append one record to the job journal (no-op when non-durable)."""
+        """Append one record to the job journal (no-op when non-durable).
+
+        Any non-delivery record first flushes the group-commit delivery
+        buffer, so the journal never shows a state transition (terminal
+        outcome, checkpoint, job-finished) *before* the deliveries that
+        causally preceded it -- the write-ahead ordering replay relies on.
+        """
         hook = self._journal
-        if hook is not None:
-            hook(kind, data)
+        if hook is None:
+            return
+        if kind not in ("delivery", "delivery_batch"):
+            self.flush_deliveries()
+        hook(kind, data)
+
+    def set_delivery_batching(self, max_pending: int) -> None:
+        """Enable journal group-commit: buffer up to *max_pending* ledger
+        entries and append them as one ``delivery_batch`` record instead
+        of journaling per fan-out.  The buffer is flushed by any
+        non-delivery journal event (task-terminal, checkpoint,
+        job-finished) and by the cluster tick barrier, bounding the
+        durability window.  ``0`` restores write-ahead per fan-out."""
+        flush = False
+        with self._lock:
+            self._delivery_batching = max(0, int(max_pending))
+            flush = self._delivery_batching == 0
+        if flush:
+            self.flush_deliveries()
+
+    def flush_deliveries(self) -> int:
+        """Journal any buffered (group-commit) delivery records now.
+        Returns the number of messages flushed."""
+        with self._lock:
+            pending = self._pending_journal_deliveries
+            if not pending:
+                return 0
+            self._pending_journal_deliveries = []
+        self._journal_deliveries(pending)
+        return len(pending)
+
+    def _journal_deliveries(self, messages: Sequence[Message]) -> None:
+        """Append delivery record(s) for *messages*: the singleton keeps
+        the original ``delivery`` shape, a fan-out becomes one
+        ``delivery_batch`` record (one local append + one bus publish
+        regardless of fan-out width)."""
+        hook = self._journal
+        if hook is None:
+            return
+        if len(messages) == 1:
+            hook("delivery", {"message": messages[0]})
+        else:
+            hook("delivery_batch", {"messages": list(messages)})
 
     def save_checkpoint(self, task: str, state: Any, tag: Any = None) -> None:
         """Persist an application checkpoint for *task* through the
@@ -207,11 +333,26 @@ class Job:
         with self._lock:
             self._checkpoints.update(checkpoints)
 
-    def restore_deliveries(self, deliveries: dict[str, list[Message]]) -> None:
-        """Seed the delivery ledger from a journal replay (adoption)."""
+    def restore_deliveries(
+        self,
+        deliveries: dict[str, list[Message]],
+        gc_watermarks: Optional[dict[str, int]] = None,
+    ) -> None:
+        """Seed the delivery ledger from a journal replay (adoption).
+
+        *gc_watermarks* carries the predecessor's cumulative per-task
+        truncation counts so this manager's own ``ledger-gc`` records
+        continue the same monotone watermark sequence."""
         with self._lock:
             for task, messages in deliveries.items():
                 self._delivery_log.setdefault(task, []).extend(messages)
+                self.ledger_resident += len(messages)
+            if self.ledger_resident > self.ledger_peak:
+                self.ledger_peak = self.ledger_resident
+            if gc_watermarks:
+                for task, upto in gc_watermarks.items():
+                    if upto > self._gc_watermarks.get(task, 0):
+                        self._gc_watermarks[task] = upto
 
     # -- roster ----------------------------------------------------------------
     def add_task(self, spec: TaskSpec) -> TaskRuntime:
@@ -256,56 +397,176 @@ class Job:
         ]
 
     # -- routing ----------------------------------------------------------------
-    def _account(self, message: Message) -> None:
+    def _sized(self, payload: Any) -> tuple[int, str]:
+        """Estimate *payload*'s wire size; returns ``(size, how)`` where
+        *how* is ``"fast"`` (no serialization), ``"pickle"`` (fallback
+        serialization), or ``"unsized"`` (unpicklable -- size 0 charged,
+        the loss is counted rather than silently swallowed)."""
+        size = payload_nbytes(payload)
+        if size is not None:
+            return size, "fast"
         try:
-            size = len(pickle.dumps(message.payload, protocol=pickle.HIGHEST_PROTOCOL))
-        except Exception:
-            size = 0  # unpicklable payloads are possible in-process; skip
-        with self._lock:
-            self.messages_routed += 1
-            self.payload_bytes += size
-        if self._m_routed is not None:
-            self._m_routed.inc()
-            self._m_payload.observe(size)
+            size = len(
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        except (pickle.PicklingError, TypeError, AttributeError, RecursionError):
+            # unpicklable payloads are possible in-process; the wire
+            # volume is unknowable, so count the miss instead of hiding it
+            return 0, "unsized"
+        return size, "pickle"
 
     def route(self, message: Message) -> None:
         """Deliver *message* to a task queue or the client queue.
 
-        Task-bound messages are recorded in the per-task delivery ledger
-        first, so a recipient whose hosting just died (closed queue) does
-        not crash the *sender*: the message is kept and replayed into the
-        fresh queue once the task is re-placed (see :meth:`replay_into`).
-        Delivery to tasks is therefore at-least-once across attempts --
-        a restarted attempt may see messages its predecessor already
-        consumed, and consumers must tolerate duplicates.
+        Single-message form of :meth:`route_many` -- same ledger,
+        journal, and accounting semantics.
         """
-        if self.telemetry is not None and message.trace_ctx is None:
-            # stamp the job's causal context on unattributed messages so
-            # downstream consumers can always walk back to a span; replace()
-            # re-uses the existing serial/ts (no logical-clock disturbance)
-            message = replace(message, trace_ctx=(self.job_id, "job"))
-        self._account(message)
-        if message.recipient == "client":
-            self.client_queue.put(message)
+        self.route_many((message,))
+
+    def route_many(self, messages: Sequence[Message]) -> None:
+        """Deliver a fan-out of messages in one data-plane operation.
+
+        Compared with W independent :meth:`route` calls, a fan-out costs:
+
+        * one :attr:`_lock` acquisition for all accounting + ledger
+          appends (not one per message),
+        * one size computation per *unique payload object* -- broadcast
+          messages share their payload by reference, so the row-k
+          broadcast of the guiding example is sized exactly once per
+          round (and never pickled at all on the numpy fast path),
+        * one journal append + one bus publish (``delivery_batch``) for
+          the whole fan-out instead of one per recipient.
+
+        Semantics are unchanged from per-message routing: task-bound
+        messages are recorded in the per-task delivery ledger *before*
+        queue delivery, so a recipient whose hosting just died (closed
+        queue) -- or that has not been placed yet -- does not crash the
+        sender: the message is kept and replayed into the fresh queue
+        once the task is (re-)placed (see :meth:`replay_into`).  Delivery
+        to tasks is therefore at-least-once across attempts, and each
+        recipient's chaos fate (drop/delay) is rolled independently by
+        its own queue.
+        """
+        if not messages:
             return
-        runtime = self.task(message.recipient)
-        if runtime.queue is None:
-            raise UnknownTaskError(
-                f"task {message.recipient!r} has no queue yet (state "
-                f"{runtime.state.value})"
-            )
+        if self.telemetry is not None:
+            # stamp the job's causal context on unattributed messages so
+            # downstream consumers can always walk back to a span;
+            # replace() re-uses the existing serial/ts (no logical-clock
+            # disturbance)
+            messages = [
+                m
+                if m.trace_ctx is not None
+                else replace(m, trace_ctx=(self.job_id, "job"))
+                for m in messages
+            ]
+        # resolve every recipient before mutating anything: an unknown
+        # task name is a programming error and must not leave a partial
+        # fan-out behind
+        runtimes: dict[str, TaskRuntime] = {}
+        for message in messages:
+            recipient = message.recipient
+            if recipient != "client" and recipient not in runtimes:
+                runtimes[recipient] = self.task(recipient)
+        # payload interning: one sizing per unique payload object per
+        # fan-out, keyed by id() within this call only (no lifetime risk:
+        # the messages keep their payloads alive for the duration)
+        sizes: dict[int, int] = {}
+        unique_sizes: list[int] = []
+        total = sizings = reuses = pickled = unsized = 0
+        for message in messages:
+            key = id(message.payload)
+            size = sizes.get(key)
+            if size is not None:
+                reuses += 1
+                total += size
+                continue
+            size, how = self._sized(message.payload)
+            sizes[key] = size
+            unique_sizes.append(size)
+            total += size
+            sizings += 1
+            if how == "pickle":
+                pickled += 1
+            elif how == "unsized":
+                unsized += 1
+        ledgered: list[Message] = []
+        deliveries: list[tuple[MessageQueue, Message]] = []
         with self._lock:
-            self._delivery_log.setdefault(message.recipient, []).append(message)
-        # write-ahead: the ledger entry is journaled (and replicated to
-        # peer managers) before the queue delivery, so a successor's
-        # replay sees every message a restarted attempt may need
-        self.journal_event("delivery", {"message": message})
-        try:
-            runtime.queue.put(message)
-        except ShutdownError:
-            # recipient's queue closed mid-delivery (node crash, deadline
-            # cancel): the ledger keeps the message for replay
-            pass
+            self.messages_routed += len(messages)
+            self.payload_bytes += total
+            self.payload_sizings += sizings
+            self.payload_reuses += reuses
+            self.payloads_pickle_sized += pickled
+            self.payloads_unsized += unsized
+            for message in messages:
+                if message.recipient == "client":
+                    deliveries.append((self.client_queue, message))
+                    continue
+                runtime = runtimes[message.recipient]
+                if runtime.state.terminal:
+                    # terminal tasks are never re-placed, so a ledger
+                    # entry could never be replayed -- skip the ledger
+                    # and journal, just attempt best-effort delivery
+                    if runtime.queue is not None:
+                        deliveries.append((runtime.queue, message))
+                    continue
+                self._delivery_log.setdefault(message.recipient, []).append(
+                    message
+                )
+                self.ledger_resident += 1
+                ledgered.append(message)
+                if runtime.queue is not None:
+                    deliveries.append((runtime.queue, message))
+                # an unplaced recipient (no queue yet: placement window
+                # or pending re-placement) keeps the message ledgered;
+                # replay delivers it once the queue exists
+            if self.ledger_resident > self.ledger_peak:
+                self.ledger_peak = self.ledger_resident
+        if self._m_routed is not None:
+            self._m_routed.inc(len(messages))
+            for size in unique_sizes:
+                self._m_payload.observe(size)
+            if unsized:
+                self._m_unsized.inc(unsized)
+        # write-ahead: ledger entries are journaled (and replicated to
+        # peer managers) before queue delivery, so a successor's replay
+        # sees every message a restarted attempt may need
+        if ledgered and self._journal is not None:
+            to_journal: Optional[list[Message]] = ledgered
+            if self._delivery_batching > 0:
+                with self._lock:
+                    self._pending_journal_deliveries.extend(ledgered)
+                    if (
+                        len(self._pending_journal_deliveries)
+                        >= self._delivery_batching
+                    ):
+                        to_journal = self._pending_journal_deliveries
+                        self._pending_journal_deliveries = []
+                    else:
+                        to_journal = None
+            if to_journal:
+                self._journal_deliveries(to_journal)
+        client_error: Optional[ShutdownError] = None
+        for queue, message in deliveries:
+            try:
+                queue.put(message)
+            except ShutdownError as exc:
+                if queue is self.client_queue:
+                    # no ledger covers the client conduit: surface the
+                    # failure (after finishing the other recipients) so
+                    # the caller can record the undeliverable message
+                    client_error = exc
+                # a task queue closed mid-delivery (node crash, deadline
+                # cancel): the ledger keeps the message for replay;
+                # other recipients still get theirs
+        if client_error is not None:
+            raise client_error
+
+    def has_ledgered(self, name: str) -> bool:
+        """Whether any un-GC'd deliveries are ledgered for *name*."""
+        with self._lock:
+            return bool(self._delivery_log.get(name))
 
     def replay_into(self, name: str) -> int:
         """Re-deliver every logged message for *name* into its (fresh)
@@ -317,16 +578,35 @@ class Job:
             return 0
         with self._lock:
             pending = list(self._delivery_log.get(name, ()))
-        delivered = 0
-        for message in pending:
-            try:
-                queue.put(message)
-            except ShutdownError:
-                break
-            delivered += 1
+        if not pending:
+            return 0
+        delivered = queue.put_many(pending)
         with self._lock:
             self.messages_replayed += delivered
         return delivered
+
+    # -- ledger GC ---------------------------------------------------------------
+    def gc_ledger(self, name: str) -> int:
+        """Truncate *name*'s delivery ledger after its attempt reached a
+        terminal state at the current epoch.
+
+        Terminal tasks are never re-placed (recovery skips them), so
+        their history can never be replayed -- holding it would keep the
+        ledger O(total traffic) instead of O(in-flight traffic).  The
+        truncation is journaled as a cumulative per-task watermark
+        (``ledger-gc``) so a successor manager's replay agrees on exactly
+        which prefix is gone.  Returns the number of entries dropped."""
+        with self._lock:
+            dropped = self._delivery_log.pop(name, None)
+            count = len(dropped) if dropped else 0
+            if count == 0:
+                return 0
+            self.ledger_resident -= count
+            self.ledger_truncated += count
+            watermark = self._gc_watermarks.get(name, 0) + count
+            self._gc_watermarks[name] = watermark
+        self.journal_event("ledger-gc", {"task": name, "upto": watermark})
+        return count
 
     # -- completion ---------------------------------------------------------------
     def note_terminal(self, name: str) -> None:
@@ -345,6 +625,11 @@ class Job:
                 finished = True
                 self._cond.notify_all()
             state = runtime.state.value
+            terminal = runtime.state.terminal
+        if terminal:
+            # the attempt can never be re-placed again: its message
+            # history is dead weight -- truncate and journal the watermark
+            self.gc_ledger(name)
         if self.telemetry is not None:
             task_span = self.telemetry.spans.get(self.job_id, f"task:{name}")
             if task_span is not None:

@@ -147,6 +147,11 @@ class JobManager:
         self.failed_nodes: list[str] = []
         #: write-ahead job journal (replicated); None = non-durable mode
         self.journal: Optional[ReplicatedJournal] = None
+        #: journal group-commit: buffer up to this many delivery records
+        #: per job before appending one delivery_batch (0 = write-ahead
+        #: per fan-out, the default); flushed on every non-delivery
+        #: journal event and on the cluster tick barrier
+        self.journal_group_commit = 0
         #: cluster-wide job_id -> (manager, Job) map for client re-binding
         self.directory: Optional[JobDirectory] = None
         #: jobs this manager adopted from dead peers (failover audit trail)
@@ -190,6 +195,12 @@ class JobManager:
     def on_tick(self) -> list[str]:
         """One failure-detection period; recovers from any node newly
         declared dead.  Returns those nodes' names."""
+        # tick barrier: bound the group-commit durability window -- any
+        # delivery records still buffered since the last tick land now
+        with self._lock:
+            jobs = list(self.jobs.values())
+        for job in jobs:
+            job.flush_deliveries()
         newly_dead = self.failure_detector.tick()
         for node in newly_dead:
             self.handle_node_failure(node)
@@ -315,7 +326,7 @@ class JobManager:
                 runtime.state = state
                 runtime.result = snapshot.results.get(name)
                 runtime.error = snapshot.errors.get(name)
-        job.restore_deliveries(snapshot.deliveries)
+        job.restore_deliveries(snapshot.deliveries, snapshot.gc_watermarks)
         job.restore_checkpoints(snapshot.checkpoints)
         # migrate the client conduit: drain the dead manager's client
         # queue into the new job's (trace history survives), close the
@@ -410,6 +421,8 @@ class JobManager:
                 job.job_id, kind, data, job.manager_epoch
             )
         )
+        if self.journal_group_commit:
+            job.set_delivery_batching(self.journal_group_commit)
 
     # -- job lifecycle -----------------------------------------------------------
     def create_job(
@@ -453,6 +466,11 @@ class JobManager:
         # successor knows the full roster even if we die mid-placement
         job.journal_event("task-spec", {"spec": spec})
         self._place(job, runtime)
+        if job.has_ledgered(spec.name):
+            # messages routed to this task before it had a queue (the
+            # placement window) were ledgered instead of raising at the
+            # sender; deliver them now that the queue exists
+            job.replay_into(spec.name)
         job.route(
             Message(
                 MessageType.TASK_CREATED,

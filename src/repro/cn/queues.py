@@ -77,6 +77,23 @@ class MessageQueue:
         self._queue.put(message)
         self._note_depth()
 
+    def put_many(self, messages: list[Message]) -> int:
+        """Deliver a batch into the queue; returns how many were accepted.
+
+        Each message still rolls its *own* chaos fate (drop/delay are
+        per-delivery decisions keyed by the per-queue index, exactly as
+        if :meth:`put` had been called per message), but the depth
+        high-watermark is noted once per batch.  Stops early and returns
+        the partial count if the queue closes mid-batch."""
+        delivered = 0
+        for message in messages:
+            try:
+                self.put(message)
+            except ShutdownError:
+                break
+            delivered += 1
+        return delivered
+
     def _note_depth(self) -> None:
         depth = len(self)
         if depth > self.high_watermark:

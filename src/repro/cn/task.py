@@ -93,6 +93,7 @@ class TaskContext:
         peers: Sequence[str],
         queue: MessageQueue,
         route: Callable[[Message], None],
+        route_many: Optional[Callable[[Sequence[Message]], None]] = None,
         tuple_space: TupleSpace,
         params: Sequence[Any] = (),
         dependencies: Optional[dict[str, tuple[str, ...]]] = None,
@@ -108,6 +109,7 @@ class TaskContext:
         self.params = list(params)
         self._queue = queue
         self._route = route
+        self._route_many = route_many
         self.tuple_space = tuple_space
         self.cancelled = False
         # job-wide dependency map (task -> its depends), letting tasks
@@ -187,21 +189,82 @@ class TaskContext:
             )
         )
 
-    def broadcast(self, payload: Any, *, include_self: bool = False) -> None:
-        """Send a user-defined message to every task in the job."""
+    def _fan_out(self, messages: Sequence[Message]) -> None:
+        """Hand a fan-out to the job's batched router (one lock, one
+        journal append, payload interning); falls back to per-message
+        routing when the hosting runtime predates ``route_many``."""
+        if not messages:
+            return
+        if self._route_many is not None:
+            self._route_many(messages)
+            return
+        for message in messages:
+            self._route(message)
+
+    def multicast(self, recipients: Sequence[str], payload: Any) -> int:
+        """Send one user-defined *payload* to each of *recipients* as a
+        single data-plane fan-out: every message shares the payload
+        object by reference (zero-copy -- it is sized once, journaled
+        once, delivered per recipient).  Returns the number of messages
+        sent.  Recipients are validated up front, so an unknown name
+        fails the whole call before anything is routed."""
         trace_ctx = self.trace_ctx
-        for peer in self.peers:
-            if peer == self.task_name and not include_self:
-                continue
-            self._route(
+        for recipient in recipients:
+            if recipient != "client" and recipient not in self.peers:
+                raise UnknownTaskError(
+                    f"{self.task_name!r} cannot send to unknown task "
+                    f"{recipient!r}"
+                )
+        self._fan_out(
+            [
                 Message.user(
                     self.task_name,
-                    peer,
+                    recipient,
                     payload,
                     origin=self._origin,
                     trace_ctx=trace_ctx,
                 )
-            )
+                for recipient in recipients
+            ]
+        )
+        return len(recipients)
+
+    def send_many(self, pairs: Sequence[tuple[str, Any]]) -> int:
+        """Send ``(recipient, payload)`` pairs as one data-plane fan-out
+        (the scatter counterpart of :meth:`multicast`: distinct payloads,
+        one lock/journal batch).  Returns the number of messages sent."""
+        trace_ctx = self.trace_ctx
+        for recipient, _ in pairs:
+            if recipient != "client" and recipient not in self.peers:
+                raise UnknownTaskError(
+                    f"{self.task_name!r} cannot send to unknown task "
+                    f"{recipient!r}"
+                )
+        self._fan_out(
+            [
+                Message.user(
+                    self.task_name,
+                    recipient,
+                    payload,
+                    origin=self._origin,
+                    trace_ctx=trace_ctx,
+                )
+                for recipient, payload in pairs
+            ]
+        )
+        return len(pairs)
+
+    def broadcast(self, payload: Any, *, include_self: bool = False) -> None:
+        """Send a user-defined message to every task in the job (one
+        batched fan-out; the payload is shared by reference)."""
+        self.multicast(
+            [
+                peer
+                for peer in self.peers
+                if include_self or peer != self.task_name
+            ],
+            payload,
+        )
 
     def recv(self, timeout: Optional[float] = None) -> Message:
         """Next message addressed to this task (any type)."""

@@ -264,6 +264,7 @@ class TaskManager:
             peers=job.task_names(),
             queue=runtime.queue,  # type: ignore[arg-type]
             route=job.route,
+            route_many=job.route_many,
             tuple_space=job.tuple_space,
             params=runtime.spec.params,
             dependencies={

@@ -216,6 +216,67 @@ class TestChaoticQueues:
         assert [m.payload for m in q.drain()] == [0, 1, 2, 3, 4]
 
 
+class TestChaoticBroadcast:
+    """Fan-out routing must not collapse chaos fates: each recipient's
+    drop/delay decision is rolled independently by its own queue, exactly
+    as if the messages had been routed one at a time."""
+
+    def make_job(self, chaos, workers=("a", "b", "c")):
+        from repro.cn import Job
+
+        job = Job("j", "client")
+        for name in workers:
+            runtime = job.add_task(TaskSpec(name=name, jar="x.jar", cls="p.T"))
+            runtime.queue = MessageQueue(owner=f"j/{name}", chaos=chaos)
+            runtime.state = TaskState.CREATED
+        return job
+
+    def test_fates_within_one_fan_out_are_independent_and_seeded(self):
+        rounds = 40
+        chaos = ChaosPolicy(seed=11, queue_drop_rate=0.3)
+        job = self.make_job(chaos)
+        payloads = []
+        for i in range(rounds):
+            payload = ("row", i)
+            payloads.append(payload)
+            job.route_many(
+                [Message.user("s", name, payload) for name in ("a", "b", "c")]
+            )
+        # a twin-seeded policy predicts each queue's fates independently:
+        # recipient `a` sees puts 1..rounds on ITS queue, `b` on its own, ...
+        oracle = ChaosPolicy(seed=11, queue_drop_rate=0.3)
+        for name in ("a", "b", "c"):
+            expected = [
+                payloads[i - 1]
+                for i in range(1, rounds + 1)
+                if oracle.queue_fate(f"j/{name}", i) == "deliver"
+            ]
+            got = [m.payload for m in job.tasks[name].queue.drain()]
+            assert got == expected, f"fates for {name!r} diverged"
+        fates = {
+            tuple(
+                oracle2.queue_fate(f"j/{name}", i) for i in range(1, rounds + 1)
+            )
+            for name in ("a", "b", "c")
+            for oracle2 in [ChaosPolicy(seed=11, queue_drop_rate=0.3)]
+        }
+        assert len(fates) > 1  # the queues genuinely diverged from each other
+
+    def test_ledger_keeps_every_fanned_out_message_despite_drops(self):
+        chaos = ChaosPolicy(seed=3, queue_drop_rate=1.0)
+        job = self.make_job(chaos)
+        job.route_many(
+            [Message.user("s", name, "x") for name in ("a", "b", "c")]
+        )
+        # every queue dropped its copy, but at-least-once still holds:
+        # the ledger has all three for replay into a fresh queue
+        for name in ("a", "b", "c"):
+            assert len(job.tasks[name].queue) == 0
+            assert job.has_ledgered(name)
+        job.tasks["a"].queue = MessageQueue(owner="j2/a")  # chaos-free replay
+        assert job.replay_into("a") == 1
+
+
 class TestNodeKillRecovery:
     def test_task_recovers_on_another_node_with_replay(self):
         with Cluster(3, registry=echo_registry(), failure_k=2) as cluster:

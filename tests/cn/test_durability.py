@@ -22,6 +22,7 @@ from repro.cn import (
     JournalError,
     JournalRecord,
     MemoryJournal,
+    Message,
     MessageType,
     ReplicatedJournal,
     Task,
@@ -301,6 +302,147 @@ class TestReplayJob:
         assert replay_job("j", noise + records) == replay_job("j", records)
 
 
+class TestReplayDeliveryBatchAndGC:
+    def deliveries(self, recipient, payloads):
+        return [Message.user("s", recipient, p) for p in payloads]
+
+    def test_delivery_batch_unpacks_like_singletons(self):
+        messages = self.deliveries("t", ["m1", "m2", "m3"])
+        batched = [rec(1, "j", "delivery_batch", messages=messages)]
+        singles = [
+            rec(i + 1, "j", "delivery", message=m) for i, m in enumerate(messages)
+        ]
+        assert (
+            replay_job("j", batched).deliveries
+            == replay_job("j", singles).deliveries
+            == {"t": messages}
+        )
+
+    def test_mixed_recipient_batch_fans_out_per_task(self):
+        messages = [
+            Message.user("s", "a", 1),
+            Message.user("s", "b", 2),
+            Message.user("s", "a", 3),
+        ]
+        snapshot = replay_job("j", [rec(1, "j", "delivery_batch", messages=messages)])
+        assert [m.payload for m in snapshot.deliveries["a"]] == [1, 3]
+        assert [m.payload for m in snapshot.deliveries["b"]] == [2]
+
+    def test_ledger_gc_truncates_replayed_deliveries(self):
+        messages = self.deliveries("t", ["m1", "m2", "m3"])
+        records = [rec(1, "j", "delivery_batch", messages=messages)]
+        # GC after the recipient's attempt completed: all three are gone
+        snapshot = replay_job("j", records + [rec(2, "j", "ledger-gc", task="t", upto=3)])
+        assert snapshot.deliveries["t"] == []
+        assert snapshot.gc_watermarks == {"t": 3}
+
+    def test_crash_before_gc_watermark_still_replays_everything(self):
+        # no ledger-gc record landed before the crash: the successor's
+        # replay must resurrect the full history (at-least-once holds)
+        messages = self.deliveries("t", ["m1", "m2"])
+        snapshot = replay_job("j", [rec(1, "j", "delivery_batch", messages=messages)])
+        assert snapshot.deliveries["t"] == messages
+        assert snapshot.gc_watermarks == {}
+
+    def test_gc_watermark_is_cumulative_across_attempts(self):
+        first = self.deliveries("t", ["a1", "a2"])
+        second = self.deliveries("t", ["b1"])
+        records = [
+            rec(1, "j", "delivery_batch", messages=first),
+            rec(2, "j", "ledger-gc", task="t", upto=2),
+            rec(3, "j", "delivery", message=second[0]),
+        ]
+        snapshot = replay_job("j", records)
+        # only the post-GC delivery survives
+        assert [m.payload for m in snapshot.deliveries["t"]] == ["b1"]
+        # a successor journaling the next truncation continues the count
+        snapshot = replay_job("j", records + [rec(4, "j", "ledger-gc", task="t", upto=3)])
+        assert snapshot.deliveries["t"] == []
+
+    def test_duplicated_gc_record_is_idempotent(self):
+        messages = self.deliveries("t", ["m1", "m2"])
+        records = [
+            rec(1, "j", "delivery_batch", messages=messages),
+            rec(2, "j", "ledger-gc", task="t", upto=1),
+            rec(3, "j", "ledger-gc", task="t", upto=1),  # replica duplicate
+        ]
+        snapshot = replay_job("j", records)
+        assert [m.payload for m in snapshot.deliveries["t"]] == ["m2"]
+
+    def test_delivery_batch_roundtrips_through_a_file_journal(self, tmp_path):
+        path = str(tmp_path / "n.jsonl")
+        journal = FileJournal(path)
+        messages = self.deliveries("t", ["m1", np.arange(4.0)])
+        journal.append(rec(1, "j", "delivery_batch", messages=messages))
+        journal.append(rec(2, "j", "ledger-gc", task="t", upto=1))
+        journal.close()
+        reloaded = FileJournal(path)
+        snapshot = replay_job("j", reloaded.records("j"))
+        [survivor] = snapshot.deliveries["t"]
+        assert np.array_equal(survivor.payload, np.arange(4.0))
+        reloaded.close()
+
+
+class TestLedgerGC:
+    """End-to-end: terminal tasks release their message history."""
+
+    def test_terminal_task_truncates_its_ledger(self):
+        with Cluster(2, registry=echo_registry()) as cluster:
+            api = CNAPI.initialize(cluster)
+            handle = api.create_job("client")
+            api.create_task(handle, TaskSpec(name="e", jar="echo.jar", cls="t.Echo"))
+            api.start_job(handle)
+            api.send_message(handle, "e", "hello")
+            assert api.wait(handle, timeout=10)["e"] == "hello"
+            job = handle.job
+            assert not job.has_ledgered("e")
+            assert job.ledger_resident == 0
+            assert job.ledger_truncated >= 1
+            assert job.ledger_peak >= 1
+            kinds = [r.kind for r in handle.manager.journal.records(handle.job_id)]
+            assert "ledger-gc" in kinds
+
+    def test_replay_into_after_gc_delivers_nothing(self):
+        with Cluster(2, registry=echo_registry()) as cluster:
+            api = CNAPI.initialize(cluster)
+            handle = api.create_job("client")
+            api.create_task(handle, TaskSpec(name="e", jar="echo.jar", cls="t.Echo"))
+            api.start_job(handle)
+            api.send_message(handle, "e", "hello")
+            api.wait(handle, timeout=10)
+            assert handle.job.replay_into("e") == 0
+
+    def test_successor_replay_does_not_resurrect_gcd_messages(self):
+        with Cluster(3, registry=echo_registry(), failure_k=2) as cluster:
+            worker_only_nodes(cluster)
+            api = CNAPI.initialize(cluster)
+            handle = api.create_job("client", requirements={"prefer": "node0"})
+            api.create_task(handle, TaskSpec(name="e", jar="echo.jar", cls="t.Echo"))
+            api.create_task(
+                handle,
+                TaskSpec(name="e2", jar="echo.jar", cls="t.Echo", depends=("e",)),
+            )
+            api.start_job(handle)
+            api.send_message(handle, "e", "gone-after-gc")
+            # wait until the first task is done (its ledger then GC'd)
+            deadline = threading.Event()
+            for _ in range(500):
+                if handle.job.task("e").state is TaskState.COMPLETED:
+                    break
+                deadline.wait(0.01)
+            assert handle.job.task("e").state is TaskState.COMPLETED
+            cluster.kill_node("node0")
+            cluster.tick(3)  # successor adopts from the replicated journal
+            assert handle.manager.name == "node1/jm"
+            # the completed attempt's history was truncated: adoption must
+            # not re-ledger (or re-deliver) it
+            assert not handle.job.has_ledgered("e")
+            api.send_message(handle, "e2", "finish")
+            results = api.wait(handle, timeout=15)
+            assert results["e2"] == "finish"
+            assert results["e"] == "gone-after-gc"
+
+
 # -- replay determinism (hypothesis) --------------------------------------------
 
 _TASKS = st.sampled_from(["a", "b", "c"])
@@ -317,6 +459,14 @@ _KIND_DATA = st.one_of(
               _TASKS, st.sampled_from([s.value for s in TaskState]), st.integers(0, 3)),
     st.builds(lambda n, t: ("checkpoint", {"task": n, "tag": t, "state": {"k": t}}),
               _TASKS, st.integers(0, 9)),
+    st.builds(lambda n, p: ("delivery", {"message": Message.user("x", n, p)}),
+              _TASKS, st.integers(0, 5)),
+    st.builds(lambda ns: ("delivery_batch",
+                          {"messages": [Message.user("x", n, i)
+                                        for i, n in enumerate(ns)]}),
+              st.lists(_TASKS, min_size=1, max_size=4)),
+    st.builds(lambda n, u: ("ledger-gc", {"task": n, "upto": u}),
+              _TASKS, st.integers(0, 8)),
     st.builds(lambda f: ("job-finished", {"failed": f}), st.booleans()),
 )
 
@@ -419,11 +569,20 @@ class TestDurableJobLifecycle:
             api.start_job(handle)
             api.send_message(handle, "e", "hello")
             assert api.wait(handle, timeout=10)["e"] == "hello"
-            snapshot = replay_job(
-                handle.job_id, handle.manager.journal.records(handle.job_id)
-            )
-            payloads = [m.payload for m in snapshot.deliveries.get("e", [])]
-            assert "hello" in payloads
+            records = handle.manager.journal.records(handle.job_id)
+            journaled = [
+                m.payload
+                for r in records
+                if r.kind in ("delivery", "delivery_batch")
+                for m in ([r.data["message"]] if r.kind == "delivery"
+                          else r.data["messages"])
+            ]
+            assert "hello" in journaled
+            # replay reflects the post-completion ledger GC: the terminal
+            # task's history is truncated, not resurrected
+            snapshot = replay_job(handle.job_id, records)
+            assert snapshot.deliveries.get("e", []) == []
+            assert snapshot.gc_watermarks.get("e", 0) >= 1
 
     def test_non_durable_cluster_has_no_journal(self):
         with Cluster(2, registry=echo_registry(), durable=False) as cluster:

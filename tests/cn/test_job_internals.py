@@ -78,10 +78,61 @@ class TestJobObject:
         job.route(Message.user("a", "client", "hello"))
         assert job.client_queue.get(0.1).payload == "hello"
 
-    def test_route_to_unplaced_task_fails(self):
+    def test_route_to_unplaced_task_is_ledgered(self):
+        # the recipient exists but has no queue yet (placement window):
+        # the sender must not crash -- the message is ledgered and replay
+        # delivers it once the task is placed
+        from repro.cn.queues import MessageQueue
+
         job = self.make_job()
-        with pytest.raises(UnknownTaskError, match="no queue"):
-            job.route(Message.user("client", "a", "x"))
+        job.route(Message.user("client", "a", "x"))
+        assert job.has_ledgered("a")
+        queue = MessageQueue(owner="j1/a")
+        job.tasks["a"].queue = queue
+        assert job.replay_into("a") == 1
+        assert queue.get(0.1).payload == "x"
+
+    def test_route_to_unknown_task_still_raises(self):
+        job = self.make_job()
+        with pytest.raises(UnknownTaskError):
+            job.route(Message.user("client", "ghost", "x"))
+
+    def test_route_many_batches_accounting_and_interns_payloads(self):
+        from repro.cn.queues import MessageQueue
+
+        job = self.make_job()
+        for name in ("a", "b"):
+            job.tasks[name].queue = MessageQueue(owner=f"j1/{name}")
+        payload = b"x" * 100
+        job.route_many(
+            [
+                Message.user("client", "a", payload),
+                Message.user("client", "b", payload),
+            ]
+        )
+        assert job.messages_routed == 2
+        assert job.payload_bytes == 200     # both charged ...
+        assert job.payload_sizings == 1     # ... but sized once (shared ref)
+        assert job.payload_reuses == 1
+        assert job.payloads_pickle_sized == 0  # bytes take the fast path
+        assert job.tasks["a"].queue.get(0.1).payload == payload
+        assert job.tasks["b"].queue.get(0.1).payload == payload
+
+    def test_route_many_unknown_recipient_routes_nothing(self):
+        from repro.cn.queues import MessageQueue
+
+        job = self.make_job()
+        job.tasks["a"].queue = MessageQueue(owner="j1/a")
+        with pytest.raises(UnknownTaskError):
+            job.route_many(
+                [
+                    Message.user("client", "a", "ok"),
+                    Message.user("client", "ghost", "boom"),
+                ]
+            )
+        # validation happens before any delivery: no partial fan-out
+        assert job.messages_routed == 0
+        assert len(job.tasks["a"].queue) == 0
 
     def test_ready_tasks_gate_on_dependencies(self):
         job = self.make_job()
