@@ -1,9 +1,13 @@
-"""``python -m repro.analysis`` -- the cnlint command line.
+"""``python -m repro.analysis`` -- the analysis command line.
 
-Runs the full pass battery over one or more XMI/CNX documents and prints
-a per-file report.  Exit status: 0 when every file is clean of
-error-severity findings, 1 when any file has errors (or warnings under
-``--werror``), 2 when a file cannot be read or parsed at all.
+Default mode is **cnlint**: the full pass battery over one or more
+XMI/CNX documents, printed as a per-file report.  ``python -m
+repro.analysis conc ...`` dispatches to **conclint**, the concurrency
+correctness passes over Python source (see
+:mod:`repro.analysis.conc.cli`).  Both share the exit-status scheme:
+0 when clean of error-severity findings, 1 when any file has errors (or
+warnings under ``--werror``), 2 when a file cannot be read or parsed at
+all.
 """
 
 from __future__ import annotations
@@ -79,6 +83,12 @@ def _parse_failure(path: str, exc: Exception) -> Diagnostic:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "conc":
+        from .conc.cli import main as conc_main
+
+        return conc_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 

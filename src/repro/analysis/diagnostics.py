@@ -1,12 +1,16 @@
 """Structured diagnostics: the output vocabulary of every analysis pass.
 
-A :class:`Diagnostic` is one finding: a stable ``CNxxx`` error code, a
-severity, a human message (phrased to match the historical validator
-strings, which :mod:`repro.core.cnx.validate` still exposes), a
-:class:`SourceLocation` pointing into the originating XMI/CNX element,
-and an optional fix hint.  A :class:`Report` is the ordered collection a
-full analysis produces, with filtering and rendering helpers shared by
-the CLI, the portal, and the client runner.
+A :class:`Diagnostic` is one finding: a stable error code (``CNxxx``
+from cnlint, the model analyzer, or ``CCxxx`` from conclint, the
+concurrency analyzer), a severity, a human message (phrased to match the
+historical validator strings, which :mod:`repro.core.cnx.validate` still
+exposes), a :class:`SourceLocation` pointing into the originating
+XMI/CNX element or Python source line, and an optional fix hint.  A
+:class:`Report` is the ordered collection a full analysis produces, with
+filtering, baseline-suppression, and rendering helpers shared by the
+CLIs, the portal, and the client runner.  Both analyzers share this one
+model, so the portal diagnostics artifact and ``--json`` output use a
+single schema regardless of which tool produced a finding.
 """
 
 from __future__ import annotations
@@ -15,7 +19,13 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Optional
 
-__all__ = ["Severity", "SourceLocation", "Diagnostic", "Report"]
+__all__ = ["Severity", "SourceLocation", "Diagnostic", "Report", "tool_for_code"]
+
+
+def tool_for_code(code: str) -> str:
+    """Which analyzer owns a diagnostic code (``CN###`` -> cnlint, the
+    model passes; ``CC###`` -> conclint, the concurrency passes)."""
+    return "conclint" if code.startswith("CC") else "cnlint"
 
 
 class Severity(enum.Enum):
@@ -35,17 +45,24 @@ class SourceLocation:
     """Where a finding anchors in the originating document.
 
     ``source`` names the representation the composition was extracted
-    from (``cnx`` | ``xmi`` | ``model``); ``path`` is an XPath-flavored
-    pointer into that document (e.g.
-    ``client/job[1]/task[@name='tctask1']/@depends``)."""
+    from (``cnx`` | ``xmi`` | ``model``, or a file path for source-level
+    findings); ``path`` is an XPath-flavored pointer into that document
+    (e.g. ``client/job[1]/task[@name='tctask1']/@depends``) or a
+    ``Class.method`` qualifier for Python source.  ``line`` is the
+    1-based source line for findings that anchor to one (0 = no line
+    information; model-level findings keep the historical two-part
+    rendering)."""
 
     source: str = ""
     path: str = ""
+    line: int = 0
 
     def __str__(self) -> str:
+        suffix = f":{self.line}" if self.line else ""
         if not self.path:
-            return self.source or "<unknown>"
-        return f"{self.source}:{self.path}" if self.source else self.path
+            return (self.source or "<unknown>") + suffix
+        joined = f"{self.source}:{self.path}" if self.source else self.path
+        return joined + suffix
 
 
 @dataclass(frozen=True)
@@ -63,6 +80,11 @@ class Diagnostic:
     def is_error(self) -> bool:
         return self.severity is Severity.ERROR
 
+    @property
+    def tool(self) -> str:
+        """The analyzer that produced this finding (from the code family)."""
+        return tool_for_code(self.code)
+
     def render(self, *, with_hint: bool = True) -> str:
         line = f"{self.code} {self.severity.value:<7} {self.location}  {self.message}"
         if with_hint and self.hint:
@@ -77,6 +99,8 @@ class Diagnostic:
             "location": str(self.location),
             "hint": self.hint,
             "pass": self.pass_name,
+            "tool": self.tool,
+            "line": self.location.line,
         }
 
 

@@ -809,7 +809,7 @@ class ArchivePass(AnalysisPass):
                     continue  # CN201/CN202 already flag these
                 try:
                     resolvable = bool(resolver(task.jar, task.cls))
-                except Exception:
+                except Exception:  # noqa: BLE001  # conclint: waive CC302 -- resolver probes arbitrary archive code; any failure means unresolvable
                     resolvable = False
                 if not resolvable:
                     yield self.error(

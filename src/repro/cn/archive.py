@@ -73,7 +73,7 @@ class TaskArchive:
         namespace: dict = {"__name__": f"cn_archive_{self.name.replace('.', '_')}"}
         try:
             exec(compile(self.sources[module_file], module_file, "exec"), namespace)
-        except Exception as exc:
+        except Exception as exc:  # noqa: BLE001  # conclint: waive CC302 -- archive modules are arbitrary user code; converted to TaskLoadError
             raise TaskLoadError(
                 f"archive {self.name!r} module {module_file!r} failed to execute: {exc}"
             ) from exc

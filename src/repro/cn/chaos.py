@@ -41,9 +41,10 @@ from __future__ import annotations
 
 import itertools
 import random
-import threading
 from dataclasses import dataclass, field
 from typing import Any, Optional
+
+from ..analysis.conc.runtime import make_lock
 
 __all__ = [
     "VirtualClock",
@@ -65,7 +66,7 @@ class VirtualClock:
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
-        self._lock = threading.Lock()
+        self._lock = make_lock("VirtualClock._lock", reentrant=False)
 
     def now(self) -> float:
         with self._lock:
@@ -163,14 +164,14 @@ class ChaosPolicy:
         self.queue_delay_rate = queue_delay_rate
         self.bus_drop_rate = bus_drop_rate
         self.log: list[FaultRecord] = []
-        self._log_lock = threading.Lock()
+        self._log_lock = make_lock("ChaosPolicy._log_lock", reentrant=False)
         self._seq = itertools.count(1)
         # scripted one-shots, consumed on first match
         self._task_crashes: set[tuple[str, int]] = set()
         self._task_stalls: set[tuple[str, int]] = set()
         self._node_crashes_after_starts: dict[str, int] = {}
         self._node_crashes_at_tick: dict[str, int] = {}
-        self._script_lock = threading.Lock()
+        self._script_lock = make_lock("ChaosPolicy._script_lock", reentrant=False)
         # armed = some fault could ever fire.  Rates are fixed at
         # construction and scripted faults only arrive through the
         # scripting methods below, so this is a cheap cached flag the

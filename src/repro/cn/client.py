@@ -46,7 +46,7 @@ def evaluate_arguments(expression: str, env: Mapping[str, Any]) -> list[tuple]:
     namespace = dict(env)
     try:
         value = eval(expression, {"__builtins__": _SAFE_BUILTINS}, namespace)
-    except Exception as exc:
+    except Exception as exc:  # noqa: BLE001  # conclint: waive CC302 -- user expression may fail any way; converted to JobError
         raise JobError(
             f"dynamic argument expression {expression!r} failed: {exc}"
         ) from exc
@@ -267,7 +267,7 @@ class ClientRunner:
         def resolves(jar: str, cls: str) -> bool:
             try:
                 cluster.registry.resolve(jar, cls)
-            except Exception:
+            except Exception:  # noqa: BLE001  # conclint: waive CC302 -- resolution executes arbitrary archive code; any failure means unresolvable
                 return False
             return True
 
@@ -338,7 +338,7 @@ class ClientRunner:
             from ..core.cnx.emitter import emit
 
             return emit(doc)
-        except Exception:
+        except Exception:  # noqa: BLE001  # conclint: waive CC302 -- descriptor emission is best-effort; durability must not block submission
             return None
 
     def _submit(

@@ -22,10 +22,17 @@ thread for wall-clock runs.  :meth:`kill_node` / :meth:`revive_node` /
 
 from __future__ import annotations
 
+import os
 import threading
 from contextlib import AbstractContextManager
 from typing import Callable, Optional, Sequence
 
+from ..analysis.conc.runtime import (
+    LockVerifier,
+    install_verifier,
+    make_lock,
+    uninstall_verifier,
+)
 from .chaos import ChaosPolicy, ExponentialBackoff, VirtualClock
 from .durability import (
     JobDirectory,
@@ -65,9 +72,20 @@ class Cluster(AbstractContextManager):
         journal_dir: Optional[str] = None,
         journal_group_commit: int = 0,
         telemetry: Optional[Telemetry] = _DEFAULT,  # type: ignore[assignment]
+        verify_locking: Optional[bool] = None,
     ) -> None:
         if nodes < 1:
             raise ValueError("a cluster needs at least one node")
+        #: opt-in runtime lock-order/deadlock verifier (conclint part 2).
+        #: None defers to the CN_VERIFY_LOCKING environment variable, so a
+        #: whole test suite can be re-run instrumented without edits.
+        #: Installed *before* any component is built: locks created deep
+        #: inside Job/MessageQueue constructors come out instrumented.
+        if verify_locking is None:
+            verify_locking = os.environ.get("CN_VERIFY_LOCKING", "") not in ("", "0")
+        self.lock_verifier: Optional[LockVerifier] = (
+            install_verifier() if verify_locking else None
+        )
         self.registry = registry if registry is not None else TaskRegistry()
         self.chaos = chaos
         self.clock = clock if clock is not None else VirtualClock()
@@ -78,6 +96,10 @@ class Cluster(AbstractContextManager):
             telemetry = Telemetry()
         self.telemetry: Optional[Telemetry] = telemetry
         active = telemetry if telemetry is not None and telemetry.enabled else None
+        if self.lock_verifier is not None and active is not None:
+            # held-time histograms land in the shared metrics registry as
+            # cn_lock_held_seconds{lock=<Class._lock>}
+            self.lock_verifier.attach_metrics(active.metrics)
         self.bus = MulticastBus(per_hop_latency=per_hop_latency, chaos=chaos)
         self.bus.set_telemetry(active)
         names = list(node_names) if node_names else [f"node{i}" for i in range(nodes)]
@@ -100,7 +122,7 @@ class Cluster(AbstractContextManager):
         self._started = False
         self._dead: set[str] = set()
         self._ticks = 0
-        self._tick_lock = threading.RLock()
+        self._tick_lock = make_lock("Cluster._tick_lock")
         self._pumper: Optional[threading.Thread] = None
         self._pumper_stop = threading.Event()
         #: cluster-wide job_id -> (manager, Job) binding; JobHandles
@@ -155,6 +177,13 @@ class Cluster(AbstractContextManager):
                 if close is not None:
                     close()  # FileJournal: flush and release the handle
         self._started = False
+        verifier = self.lock_verifier
+        if verifier is not None:
+            self.lock_verifier = None  # idempotent across repeated shutdowns
+            uninstall_verifier()
+            # raises LockOrderError (with both witness stacks per edge) if
+            # any interleaving of this run could deadlock
+            verifier.check()
 
     def __enter__(self) -> "Cluster":
         return self.start()
@@ -217,13 +246,17 @@ class Cluster(AbstractContextManager):
                     for node in self.chaos.nodes_to_crash(tick):
                         if node in {s.name for s in self.servers}:
                             self.kill_node(node)
+                beats = []
                 for server in self.alive_servers():
                     beat = server.taskmanager.beat()
                     if beat is not None:
-                        self.bus.publish(
-                            "heartbeat", beat, sender=server.taskmanager.name
-                        )
+                        beats.append((server.taskmanager.name, beat))
                 alive = self.alive_servers()
+            # heartbeat fan-out after releasing the tick lock: publish runs
+            # listener callbacks (failure detectors, journal relays) that
+            # must not execute under Cluster._tick_lock (conclint CC201)
+            for sender, beat in beats:
+                self.bus.publish("heartbeat", beat, sender=sender)
             # detection + recovery outside the tick lock: recovery can
             # solicit the bus and start task threads
             for server in alive:

@@ -10,13 +10,13 @@ connecting them.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Any, Optional, Sequence
 
 import pickle
 
+from ..analysis.conc.runtime import make_condition, make_lock
 from ..core.cnx.schema import CnxTask
 from .errors import (
     JobError,
@@ -170,11 +170,11 @@ class Job:
         self.task_order: list[str] = []
         self.tuple_space = TupleSpace()
         self.client_queue = MessageQueue(owner=f"{job_id}/client")
-        self._lock = threading.RLock()
+        self._lock = make_lock("Job._lock")
         # completion is a condition variable, not a polled flag: waiters
         # (api.CNAPI.wait) block until notified, and a failover re-bind
         # wakes them too so they can re-resolve the successor's Job
-        self._cond = threading.Condition(self._lock)
+        self._cond = make_condition("Job._lock", self._lock)
         self._finished_flag = False
         self._rebound = False
         self.failed: Optional[TaskFailedError] = None

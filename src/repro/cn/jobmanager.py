@@ -28,10 +28,10 @@ deterministic seed-derived jitter (:class:`~repro.cn.chaos.ExponentialBackoff`).
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Any, Callable, Iterable, Optional
 
+from ..analysis.conc.runtime import make_lock
 from .chaos import ExponentialBackoff
 from .durability import JobDirectory, ReplicatedJournal, replay_job
 from .errors import CnError, NoWillingTaskManager, ShutdownError, UnknownTaskError
@@ -63,7 +63,7 @@ class FailureDetector:
         self._misses: dict[str, int] = {}
         self._beat_since_tick: dict[str, bool] = {}
         self._dead: set[str] = set()
-        self._lock = threading.Lock()
+        self._lock = make_lock("FailureDetector._lock", reentrant=False)
 
     def watch(self, node: str) -> None:
         with self._lock:
@@ -137,7 +137,7 @@ class JobManager:
         self.local_taskmanager = local_taskmanager
         self.jobs: dict[str, Job] = {}
         self._job_counter = 0
-        self._lock = threading.RLock()
+        self._lock = make_lock("JobManager._lock")
         self._taskmanagers: dict[str, TaskManager] = {}
         self._shutdown = False
         self.failure_detector = FailureDetector(failure_k)

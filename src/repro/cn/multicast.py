@@ -25,9 +25,10 @@ Fault-tolerance extensions:
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
+
+from ..analysis.conc.runtime import make_lock
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .chaos import ChaosPolicy
@@ -76,7 +77,7 @@ class MulticastBus:
     ) -> None:
         self._subscribers: list[tuple[str, Responder]] = []
         self._listeners: list[tuple[str, Listener]] = []
-        self._lock = threading.RLock()
+        self._lock = make_lock("MulticastBus._lock")
         self.per_hop_latency = per_hop_latency
         self.chaos = chaos
         self.stats = BusStats()
@@ -145,7 +146,7 @@ class MulticastBus:
                 continue
             try:
                 listener(topic, payload)
-            except Exception:
+            except Exception:  # noqa: BLE001  # conclint: waive CC302 -- a crashed listener must not take down the subnet
                 continue
             delivered += 1
         return delivered
@@ -199,7 +200,7 @@ class MulticastBus:
             self.stats.simulated_latency += self.per_hop_latency
             try:
                 offer = responder(solicitation)
-            except Exception:
+            except Exception:  # noqa: BLE001  # conclint: waive CC302 -- a crashed responder must not take down discovery
                 continue
             if offer is not None:
                 self.stats.responses += 1

@@ -30,6 +30,7 @@ from typing import Any, Mapping, Optional
 
 from repro.core.transform.pipeline import Pipeline
 
+from ..analysis.conc.runtime import make_lock
 from .cluster import Cluster
 from .registry import TaskRegistry
 from .telemetry import chrome_trace, write_jsonl
@@ -114,7 +115,7 @@ class Portal:
         self.timeout = timeout
         self._submissions: dict[int, Submission] = {}
         self._counter = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("Portal._lock", reentrant=False)
 
     # -- operations ----------------------------------------------------------
     def submit(
@@ -162,7 +163,7 @@ class Portal:
             if chaos is not None:
                 submission.fault_events = chaos.log_dicts()[faults_before:]
             submission.failover_events = self._adoptions()[adoptions_before:]
-        except Exception:
+        except Exception:  # noqa: BLE001  # conclint: waive CC302 -- submission failures of any kind become the artifact's error field
             submission.status = "failed"
             submission.error = traceback.format_exc()
             if chaos is not None:
@@ -238,7 +239,7 @@ class Portal:
         def resolves(jar: str, cls: str) -> bool:
             try:
                 self.cluster.registry.resolve(jar, cls)
-            except Exception:
+            except Exception:  # noqa: BLE001  # conclint: waive CC302 -- resolution executes arbitrary archive code; any failure means unresolvable
                 return False
             return True
 

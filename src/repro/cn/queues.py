@@ -15,6 +15,7 @@ import queue
 import threading
 from typing import TYPE_CHECKING, Callable, Optional
 
+from ..analysis.conc.runtime import make_lock
 from .errors import MessageTimeout, ShutdownError
 from .messages import Message
 
@@ -42,11 +43,11 @@ class MessageQueue:
         self._queue: "queue.Queue" = queue.Queue()
         self._closed = threading.Event()
         self._stash: list[Message] = []
-        self._stash_lock = threading.Lock()
+        self._stash_lock = make_lock("MessageQueue._stash_lock", reentrant=False)
         self._chaos = chaos
         self._put_index = 0
         self._delayed: list[Message] = []
-        self._delay_lock = threading.Lock()
+        self._delay_lock = make_lock("MessageQueue._delay_lock", reentrant=False)
         #: deepest the queue has ever been (telemetry samplers read this;
         #: a high watermark survives the drain that a point-in-time depth
         #: gauge would miss)

@@ -90,6 +90,8 @@ class TaskRegistry:
 
     def copy(self) -> "TaskRegistry":
         clone = TaskRegistry(tuple(self.search_path))
+        # conclint: waive CC402 -- same-class clone, never crosses a node boundary
         clone._classes.update(self._classes)
+        # conclint: waive CC402 -- same-class clone, never crosses a node boundary
         clone._archives.update(self._archives)
         return clone

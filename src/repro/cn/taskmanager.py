@@ -27,6 +27,7 @@ import threading
 import traceback
 from typing import Any, Callable, Optional, Type
 
+from ..analysis.conc.runtime import make_lock
 from .chaos import ChaosPolicy, InjectedFault, VirtualClock
 from .errors import CnError, ShutdownError, TaskLoadError
 from .job import Job, TaskRuntime, TaskState
@@ -83,7 +84,7 @@ class TaskManager:
         self._memory_used = 0
         self._slots_used = 0
         self._hosted: dict[tuple[str, str], HostedTask] = {}
-        self._lock = threading.RLock()
+        self._lock = make_lock("TaskManager._lock")
         self._shutdown = False
         self._crashed = False
         self._beats = 0
@@ -319,6 +320,7 @@ class TaskManager:
                         f"chaos-stalled task {runtime.name!r} cancelled"
                     )
             instance = self._instantiate(hosted.task_class, runtime)
+            # conclint: waive CC402 -- task instance and context live on this node
             instance._ctx = context  # enables Task.checkpoint/restore
             result = instance.run(context)
         except ShutdownError:
@@ -350,7 +352,7 @@ class TaskManager:
                 state = TaskState.CANCELLED
                 outcome_type = MessageType.TASK_CANCELLED
                 payload = {"task": runtime.name}
-        except Exception:
+        except Exception:  # noqa: BLE001  # conclint: waive CC302 -- any user-task exception becomes a captured failure outcome
             error = traceback.format_exc()
             if attempt <= runtime.spec.max_retries and not context.cancelled:
                 # failure with retry budget left: hand back to the
@@ -388,19 +390,22 @@ class TaskManager:
                 t.spans.end(span, fenced=True)
         if not applied:
             return  # zombie attempt: node crashed / task re-placed; discard
+        outcome_message = Message(
+            outcome_type,
+            sender=self.name,
+            recipient="client",
+            payload=payload,
+            origin=self.name.split("/")[0],
+            trace_ctx=(job.job_id, f"attempt:{runtime.name}#{hosted.epoch}"),
+        )
         try:
-            job.route(
-                Message(
-                    outcome_type,
-                    sender=self.name,
-                    recipient="client",
-                    payload=payload,
-                    origin=self.name.split("/")[0],
-                    trace_ctx=(job.job_id, f"attempt:{runtime.name}#{hosted.epoch}"),
-                )
-            )
-        except ShutdownError:
-            pass
+            job.route(outcome_message)
+        except ShutdownError as exc:
+            # client queue already closed (job torn down mid-flight): the
+            # drop must land in the undeliverable ledger, not vanish
+            from .trace import note_undeliverable  # local: trace imports api
+
+            note_undeliverable(job.job_id, outcome_message, exc)
         # journal (on_terminal) before note_terminal: the finished event may
         # wake a client that immediately shuts the cluster (and the journal
         # backend) down, so the terminal records must already be on disk
@@ -457,22 +462,25 @@ class TaskManager:
                     h.timed_out = True
                     expired.append(h)
         for h in expired:
+            timeout_message = Message(
+                MessageType.TASK_TIMEOUT,
+                sender=self.name,
+                recipient="client",
+                payload={
+                    "task": h.runtime.name,
+                    "node": self.name,
+                    "deadline": h.runtime.spec.deadline,
+                    "attempt": h.runtime.attempts,
+                },
+            )
             try:
-                h.job.route(
-                    Message(
-                        MessageType.TASK_TIMEOUT,
-                        sender=self.name,
-                        recipient="client",
-                        payload={
-                            "task": h.runtime.name,
-                            "node": self.name,
-                            "deadline": h.runtime.spec.deadline,
-                            "attempt": h.runtime.attempts,
-                        },
-                    )
-                )
-            except ShutdownError:
-                pass
+                h.job.route(timeout_message)
+            except ShutdownError as exc:
+                # job torn down between expiry scan and notification: ledger
+                # the drop instead of silently losing the timeout event
+                from .trace import note_undeliverable  # local: trace imports api
+
+                note_undeliverable(h.job.job_id, timeout_message, exc)
             if h.context is not None:
                 h.context.cancelled = True
             h.cancel_event.set()

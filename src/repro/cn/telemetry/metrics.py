@@ -262,8 +262,8 @@ class MetricsRegistry:
         for fn in collectors:
             try:
                 fn()
-            except Exception:
-                continue  # a collector outliving its source must not kill reads
+            except Exception:  # noqa: BLE001  # conclint: waive CC302 -- a collector outliving its source must not kill reads
+                continue
 
     def _get(self, factory, kind: str, name: str, labels: dict[str, str], **kw):
         key = (name, _label_key(labels))

@@ -17,9 +17,10 @@ any value of that type (``(k, int, None)`` styles).
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Optional, Sequence
 
+from ..analysis.conc.annotations import guarded_by
+from ..analysis.conc.runtime import make_condition, make_lock
 from .errors import MessageTimeout
 
 __all__ = ["TupleSpace", "matches"]
@@ -46,8 +47,8 @@ class TupleSpace:
 
     def __init__(self) -> None:
         self._tuples: list[tuple] = []
-        self._lock = threading.Lock()
-        self._changed = threading.Condition(self._lock)
+        self._lock = make_lock("TupleSpace._lock", reentrant=False)
+        self._changed = make_condition("TupleSpace._lock", self._lock)
 
     def out(self, t: Sequence[Any]) -> None:
         """Deposit tuple *t* (sequence is frozen to a tuple)."""
@@ -55,10 +56,15 @@ class TupleSpace:
             self._tuples.append(tuple(t))
             self._changed.notify_all()
 
+    @guarded_by("_lock")
     def _take(self, pattern: Sequence[Any], remove: bool) -> Optional[tuple]:
         for index, candidate in enumerate(self._tuples):
             if matches(pattern, candidate):
                 if remove:
+                    # every call site sits inside `with self._changed`, and the
+                    # @guarded_by declaration above enforces it dynamically
+                    # under verify_locking=True.
+                    # conclint: waive CC103 -- caller must hold _lock (see above)
                     return self._tuples.pop(index)
                 return candidate
         return None

