@@ -64,6 +64,11 @@ GUARDED_BY: dict[str, str] = {
     "TaskManager._running": "TaskManager._lock",
     # MulticastBus subscriber table.
     "MulticastBus._subscribers": "MulticastBus._lock",
+    # AdmissionController: per-tenant token buckets, in-flight quotas,
+    # and the decision counters all mutate under the admission lock.
+    "AdmissionController._buckets": "AdmissionController._lock",
+    "AdmissionController._in_flight": "AdmissionController._lock",
+    "AdmissionController.counts": "AdmissionController._lock",
 }
 
 # -- blocking / re-entrancy hazard table --------------------------------------

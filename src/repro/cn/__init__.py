@@ -25,8 +25,10 @@ from .durability import (
     journal_factory_for_dir,
     replay_job,
 )
+from .admission import AdmissionController, AdmissionDecision, TokenBucket
 from .errors import (
     ArchiveError,
+    BudgetExhausted,
     CnError,
     JobError,
     JobTimeoutError,
@@ -34,6 +36,7 @@ from .errors import (
     MessageTimeout,
     NoWillingJobManager,
     NoWillingTaskManager,
+    Overloaded,
     ShutdownError,
     TaskFailedError,
     TaskLoadError,
@@ -111,6 +114,11 @@ __all__ = [
     "UnknownTaskError",
     "MessageTimeout",
     "ShutdownError",
+    "Overloaded",
+    "BudgetExhausted",
+    "AdmissionController",
+    "AdmissionDecision",
+    "TokenBucket",
     "ChaosPolicy",
     "ExponentialBackoff",
     "FaultRecord",

@@ -17,7 +17,6 @@ then most local free memory, then name for determinism).
 
 from __future__ import annotations
 
-import time
 from typing import Any, Mapping, Optional
 
 from .cluster import Cluster
@@ -29,6 +28,10 @@ from .messages import Message, MessageType
 from .multicast import Solicitation
 
 __all__ = ["CNAPI", "JobHandle"]
+
+#: wall seconds per condition-variable poll when a virtual clock drives
+#: timeouts (virtual time advances on tick, not while we sleep)
+_VIRTUAL_WAIT_SLICE = 0.05
 
 
 class JobHandle:
@@ -101,8 +104,15 @@ class CNAPI:
         requirements: Optional[Mapping[str, Any]] = None,
         *,
         descriptor: Optional[str] = None,
+        budget: Optional[float] = None,
     ) -> JobHandle:
-        """Multicast for willing JobManagers, select one, create the job."""
+        """Multicast for willing JobManagers, select one, create the job.
+
+        *budget* is an end-to-end allowance in cluster-clock seconds: it
+        becomes an absolute deadline (``clock.now() + budget``) stamped
+        on every message the job routes, capping every task watchdog,
+        and letting TaskManagers drop attempts whose budget is already
+        spent instead of executing doomed work."""
         requirements = dict(requirements or {})
         offers = self._cluster.bus.solicit(
             Solicitation(kind="jobmanager", requirements=requirements, sender=client_name)
@@ -125,7 +135,12 @@ class CNAPI:
         )
         node_name = offers[0][0]
         manager = self._cluster.server(node_name).jobmanager
-        job = manager.create_job(client_name, descriptor=descriptor)
+        deadline = (
+            None if budget is None else self._cluster.clock.now() + float(budget)
+        )
+        job = manager.create_job(
+            client_name, descriptor=descriptor, deadline=deadline
+        )
         job.client_queue.put(
             Message(
                 MessageType.JOB_CREATED,
@@ -185,19 +200,35 @@ class CNAPI:
         polled in 0.2s slices -- see ``benchmarks`` PERF4 for the
         measured win).  A manager failover mid-wait wakes the waiter via
         :meth:`Job.mark_rebound`; the handle then re-resolves and the
-        wait transparently continues on the successor's rebuilt Job."""
-        deadline = None if timeout is None else time.monotonic() + timeout
+        wait transparently continues on the successor's rebuilt Job.
+
+        Deadline arithmetic goes through the cluster clock's
+        :meth:`~repro.cn.chaos.VirtualClock.timeout_now`: wall-monotonic
+        by default, virtual seconds when the cluster runs a clock built
+        with ``drive_timeouts=True`` -- so virtual-time chaos tests
+        control this timeout by ticking, with no hidden wall-time
+        dependence.  In virtual mode the condition variable is polled in
+        short wall slices (virtual time only advances on tick, so a
+        plain timed wait would measure the wrong clock)."""
+        clock = self._cluster.clock
+        virtual = clock.drives_timeouts
+        deadline = None if timeout is None else clock.timeout_now() + timeout
         while True:
             job = handle.job
             remaining: Optional[float] = None
             if deadline is not None:
-                remaining = deadline - time.monotonic()
+                remaining = deadline - clock.timeout_now()
                 if remaining <= 0:
                     raise JobTimeoutError(job.job_id, timeout, job.states())
-            status = job.wait_or_rebind(remaining)
+            wait_slice = remaining
+            if virtual and remaining is not None:
+                wait_slice = _VIRTUAL_WAIT_SLICE
+            status = job.wait_or_rebind(wait_slice)
             if status == "finished":
                 return job.wait(0)
             if status == "timeout":
+                if virtual:
+                    continue  # re-check the virtual deadline next pass
                 raise JobTimeoutError(job.job_id, timeout, job.states())
             # rebound: loop re-resolves through the directory
 

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import itertools
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -62,10 +63,21 @@ class InjectedFault(RuntimeError):
 
 
 class VirtualClock:
-    """A monotonic logical clock advanced explicitly (never by wall time)."""
+    """A monotonic logical clock advanced explicitly (never by wall time).
 
-    def __init__(self, start: float = 0.0) -> None:
+    ``drive_timeouts=True`` opts client-side timeout arithmetic (e.g.
+    ``CNAPI.wait``) into virtual time as well: deadlines are computed
+    from :meth:`timeout_now` instead of ``time.monotonic()``, so a
+    chaos test that advances the clock by ticking controls *every*
+    deadline in the system -- no hidden wall-time dependence.  The
+    default keeps wall-clock timeouts, matching non-ticked clusters
+    where virtual time never advances and a virtual deadline would
+    otherwise never expire.
+    """
+
+    def __init__(self, start: float = 0.0, *, drive_timeouts: bool = False) -> None:
         self._now = float(start)
+        self._drive_timeouts = bool(drive_timeouts)
         self._lock = make_lock("VirtualClock._lock", reentrant=False)
 
     def now(self) -> float:
@@ -78,6 +90,18 @@ class VirtualClock:
         with self._lock:
             self._now += dt
             return self._now
+
+    @property
+    def drives_timeouts(self) -> bool:
+        """Whether client timeout arithmetic runs on virtual time."""
+        return self._drive_timeouts
+
+    def timeout_now(self) -> float:
+        """The time source for timeout/deadline arithmetic: virtual time
+        when this clock drives timeouts, wall-monotonic otherwise."""
+        if self._drive_timeouts:
+            return self.now()
+        return time.monotonic()
 
 
 @dataclass(frozen=True)
@@ -171,6 +195,10 @@ class ChaosPolicy:
         self._task_stalls: set[tuple[str, int]] = set()
         self._node_crashes_after_starts: dict[str, int] = {}
         self._node_crashes_at_tick: dict[str, int] = {}
+        # overload mode: slow-consumer queues (owner substring -> stride)
+        # and scripted submission-burst schedules (tick -> burst size)
+        self._slow_consumers: dict[str, int] = {}
+        self._bursts: dict[int, int] = {}
         self._script_lock = make_lock("ChaosPolicy._script_lock", reentrant=False)
         # armed = some fault could ever fire.  Rates are fixed at
         # construction and scripted faults only arrive through the
@@ -221,6 +249,41 @@ class ChaosPolicy:
                 self._node_crashes_at_tick[node] = at_tick  # type: ignore[assignment]
         self._armed = True
         return self
+
+    def slow_consumer(self, owner_substring: str, *, stride: int = 2) -> "ChaosPolicy":
+        """Overload mode: make queues whose owner contains
+        *owner_substring* behave like a slow consumer -- every
+        *stride*-th delivery is held back (the ``delay`` fate) so depth
+        builds up deterministically and backpressure engages.  Not a
+        one-shot: the brake stays on for the whole run."""
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        with self._script_lock:
+            self._slow_consumers[owner_substring] = stride
+        self._armed = True
+        return self
+
+    def schedule_burst(self, tick: int, submissions: int) -> "ChaosPolicy":
+        """Overload mode: script a submission storm of *submissions* jobs
+        due at *tick*.  The storm driver (a benchmark or a portal test)
+        polls :meth:`bursts_due` each tick and fires the scripted load --
+        the schedule living here keeps storm timing seeded/deterministic
+        alongside every other fault."""
+        if submissions < 1:
+            raise ValueError(f"submissions must be >= 1, got {submissions}")
+        with self._script_lock:
+            self._bursts[tick] = self._bursts.get(tick, 0) + submissions
+        self._armed = True
+        return self
+
+    def bursts_due(self, tick: int) -> int:
+        """Scripted submission-storm size due at *tick* (consumed)."""
+        with self._script_lock:
+            due = [t for t in self._bursts if tick >= t]
+            total = sum(self._bursts.pop(t) for t in due)
+        if total:
+            self._record("burst", "portal", str(tick), submissions=total)
+        return total
 
     # -- the enabled fast path -------------------------------------------------
     @property
@@ -290,6 +353,19 @@ class ChaosPolicy:
     def queue_fate(self, owner: str, index: int) -> str:
         """``deliver`` | ``drop`` | ``delay`` for the *index*-th message
         put on the queue *owner* (per-queue counter = stable key)."""
+        with self._script_lock:
+            slow = [
+                (sub, stride)
+                for sub, stride in self._slow_consumers.items()
+                if sub in owner
+            ]
+        for sub, stride in slow:
+            if index % stride == 0:
+                self._record(
+                    "queue-delay", f"queue:{owner}", owner,
+                    index=index, slow_consumer=sub,
+                )
+                return "delay"
         key = f"{owner}:{index}"
         if self._decide("queue-drop", key, self.queue_drop_rate):
             self._record("queue-drop", f"queue:{owner}", owner, index=index)

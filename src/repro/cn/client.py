@@ -345,9 +345,15 @@ class ClientRunner:
         self, doc: CnxDocument, job: CnxJob, runtime_args: Mapping[str, Any]
     ) -> JobHandle:
         degradations: list = []
-        budget = (
-            self.api.cluster.total_free_memory() if self.degrade else None
-        )
+        cluster = self.api.cluster
+        budget = None
+        if self.degrade:
+            # graceful degradation under overload: the admission
+            # controller lowers degrade_factor below 1.0 as the cluster
+            # approaches saturation, so new dynamic jobs expand narrower
+            # instead of being shed outright
+            factor = getattr(cluster, "degrade_factor", 1.0)
+            budget = int(cluster.total_free_memory() * factor)
         specs = expand_dynamic_tasks(
             job,
             runtime_args,

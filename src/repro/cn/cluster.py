@@ -73,6 +73,8 @@ class Cluster(AbstractContextManager):
         journal_group_commit: int = 0,
         telemetry: Optional[Telemetry] = _DEFAULT,  # type: ignore[assignment]
         verify_locking: Optional[bool] = None,
+        queue_maxsize: int = 0,
+        queue_policy: str = "block",
     ) -> None:
         if nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -116,9 +118,16 @@ class Cluster(AbstractContextManager):
                 clock=self.clock,
                 failure_k=failure_k,
                 retry_backoff=retry_backoff,
+                queue_maxsize=queue_maxsize,
+                queue_policy=queue_policy,
             )
             for name in names
         ]
+        #: graceful-degradation knob: the admission controller lowers this
+        #: below 1.0 when the cluster approaches saturation, and the client
+        #: runner scales its dynamic-expansion memory budget by it so new
+        #: jobs are admitted smaller instead of shed outright
+        self.degrade_factor = 1.0
         self._started = False
         self._dead: set[str] = set()
         self._ticks = 0
@@ -309,6 +318,15 @@ class Cluster(AbstractContextManager):
         """Aggregate free memory across *live* nodes (a crashed node's
         capacity is not placeable and must not be advertised)."""
         return sum(s.taskmanager.free_memory for s in self.alive_servers())
+
+    def total_memory(self) -> int:
+        """Aggregate memory capacity across live nodes."""
+        return sum(s.taskmanager.memory_capacity for s in self.alive_servers())
+
+    def total_queued_messages(self) -> int:
+        """Messages resident in hosted task queues across live nodes --
+        the aggregate backpressure half of the saturation signal."""
+        return sum(s.taskmanager.queued_messages() for s in self.alive_servers())
 
     def __repr__(self) -> str:
         return f"<Cluster {len(self.servers)} node(s)>"

@@ -65,6 +65,7 @@ RECORD_KINDS = (
     "delivery",      # message (Message)              -- ledger entry
     "delivery_batch",  # messages (list[Message])     -- one fan-out, batched
     "ledger-gc",     # task, upto                     -- ledger truncation
+    "shed",          # task, serial                   -- backpressure eviction
     "checkpoint",    # task, tag, state               -- application state
     "job-finished",  # failed (bool)
 )
@@ -390,6 +391,13 @@ class JobSnapshot:
     deliveries: dict[str, list[Message]] = field(default_factory=dict)
     #: cumulative per-task ledger-GC truncation counts (see ``ledger-gc``)
     gc_watermarks: dict[str, int] = field(default_factory=dict)
+    #: message serials evicted from bounded queues, per task; every serial
+    #: here must also appear in ``deliveries`` (write-ahead ledger before
+    #: delivery), so a replay re-offers the shed message instead of losing it
+    sheds: dict[str, list[int]] = field(default_factory=dict)
+    #: absolute end-to-end deadline on the cluster clock, if the job
+    #: carried a budget
+    deadline: Optional[float] = None
     checkpoints: dict[str, tuple[Any, Any]] = field(default_factory=dict)
     finished: bool = False
     failed: bool = False
@@ -430,6 +438,7 @@ def replay_job(job_id: str, records: Iterable[JournalRecord]) -> JobSnapshot:
             snapshot.client = data.get("client", snapshot.client)
             snapshot.manager = data.get("manager", snapshot.manager)
             snapshot.descriptor = data.get("descriptor", snapshot.descriptor)
+            snapshot.deadline = data.get("deadline", snapshot.deadline)
         elif kind == "job-adopted":
             snapshot.manager = data.get("manager", snapshot.manager)
         elif kind == "task-spec":
@@ -478,6 +487,16 @@ def replay_job(job_id: str, records: Iterable[JournalRecord]) -> JobSnapshot:
                 if messages:
                     del messages[:drop]
                 snapshot.gc_watermarks[task] = upto
+        elif kind == "shed":
+            # a bounded queue evicted this delivery before the task
+            # consumed it; the message itself is already in `deliveries`
+            # (ledgered write-ahead), so the shed record only marks which
+            # serials need re-offering on replay
+            task = data["task"]
+            serial = int(data.get("serial", 0))
+            serials = snapshot.sheds.setdefault(task, [])
+            if serial not in serials:
+                serials.append(serial)
         elif kind == "checkpoint":
             snapshot.checkpoints[data["task"]] = (data.get("tag"), data.get("state"))
         elif kind == "job-finished":

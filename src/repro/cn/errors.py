@@ -15,6 +15,8 @@ __all__ = [
     "MessageTimeout",
     "ShutdownError",
     "JournalError",
+    "Overloaded",
+    "BudgetExhausted",
 ]
 
 
@@ -88,3 +90,41 @@ class ShutdownError(CnError):
 
 class JournalError(CnError):
     """The durable job journal could not be read or written."""
+
+
+class Overloaded(CnError):
+    """A bounded queue (or the portal's admission controller) refused new
+    work because the system is saturated.  Carries enough context for the
+    caller to back off intelligently: the component that refused, its
+    depth at the moment of refusal, and its configured capacity."""
+
+    def __init__(
+        self,
+        owner: str,
+        *,
+        depth: int,
+        maxsize: int,
+        retry_after: "float | None" = None,
+    ) -> None:
+        self.owner = owner
+        self.depth = depth
+        self.maxsize = maxsize
+        self.retry_after = retry_after
+        super().__init__(
+            f"{owner!r} is overloaded ({depth}/{maxsize} queued)"
+            + (f"; retry after {retry_after:g}s" if retry_after is not None else "")
+        )
+
+
+class BudgetExhausted(JobError):
+    """A task's end-to-end job budget expired before (or while) it ran;
+    executing it further would burn resources on a doomed result."""
+
+    def __init__(self, task_name: str, *, deadline: float, now: float) -> None:
+        self.task_name = task_name
+        self.deadline = deadline
+        self.now = now
+        super().__init__(
+            f"task {task_name!r} dropped: job budget exhausted "
+            f"(deadline {deadline:.3f} <= now {now:.3f})"
+        )

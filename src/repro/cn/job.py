@@ -178,6 +178,10 @@ class Job:
         self._finished_flag = False
         self._rebound = False
         self.failed: Optional[TaskFailedError] = None
+        #: absolute end-to-end deadline on the cluster clock (None = no
+        #: budget).  The router stamps it on every outbound message and
+        #: TaskManagers derive the per-task watchdog from what remains.
+        self.deadline: Optional[float] = None
         #: cluster Telemetry hub (None or disabled = zero instrumentation)
         self.telemetry: Optional[Any] = None
         self._m_routed: Optional[Any] = None
@@ -202,6 +206,9 @@ class Job:
         #: messages re-delivered into fresh queues after a re-placement
         #: (not part of the paper's wire-volume accounting)
         self.messages_replayed = 0
+        #: messages evicted from bounded task queues under backpressure
+        #: (each one is journaled as a ``shed`` record; see note_shed)
+        self.messages_shed = 0
         # per-task delivery ledger: everything ever routed to each task,
         # replayed into the fresh queue when a task is re-placed after a
         # crash so restarted attempts see the full message history.
@@ -449,17 +456,21 @@ class Job:
         """
         if not messages:
             return
-        if self.telemetry is not None:
+        deadline = self.deadline
+        if self.telemetry is not None or deadline is not None:
             # stamp the job's causal context on unattributed messages so
-            # downstream consumers can always walk back to a span;
-            # replace() re-uses the existing serial/ts (no logical-clock
-            # disturbance)
-            messages = [
-                m
-                if m.trace_ctx is not None
-                else replace(m, trace_ctx=(self.job_id, "job"))
-                for m in messages
-            ]
+            # downstream consumers can always walk back to a span, and
+            # the job deadline on unstamped messages so every hop can
+            # drop doomed work; replace() re-uses the existing serial/ts
+            # (no logical-clock disturbance)
+            stamped: list[Message] = []
+            for m in messages:
+                if self.telemetry is not None and m.trace_ctx is None:
+                    m = replace(m, trace_ctx=(self.job_id, "job"))
+                if deadline is not None and m.deadline is None:
+                    m = replace(m, deadline=deadline)
+                stamped.append(m)
+            messages = stamped
         # resolve every recipient before mutating anything: an unknown
         # task name is a programming error and must not leave a partial
         # fan-out behind
@@ -562,6 +573,20 @@ class Job:
                 # other recipients still get theirs
         if client_error is not None:
             raise client_error
+
+    def note_shed(self, task: str, message: Message) -> None:
+        """Record a backpressure eviction from *task*'s bounded queue.
+
+        Called by the hosting TaskManager (outside the queue lock).  The
+        message itself was already ledgered *and* journaled write-ahead
+        by :meth:`route_many` before it ever reached the queue, so the
+        ``shed`` record only needs the serial: a replay re-offers the
+        full message from the delivery ledger, preserving at-least-once
+        even though the live queue dropped it.
+        """
+        with self._lock:
+            self.messages_shed += 1
+        self.journal_event("shed", {"task": task, "serial": message.serial})
 
     def has_ledgered(self, name: str) -> bool:
         """Whether any un-GC'd deliveries are ledgered for *name*."""

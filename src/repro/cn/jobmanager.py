@@ -293,6 +293,9 @@ class JobManager:
         snapshot = replay_job(job_id, journal.records(job_id))
         job = Job(job_id, snapshot.client)
         job.manager_epoch = snapshot.mepoch + 1
+        # the budget survives failover: the successor enforces the same
+        # absolute deadline the dead manager journaled at creation
+        job.deadline = snapshot.deadline
         with self._lock:
             if self._shutdown:
                 raise CnError(f"JobManager {self.name!r} is shut down")
@@ -426,7 +429,11 @@ class JobManager:
 
     # -- job lifecycle -----------------------------------------------------------
     def create_job(
-        self, client_name: str, *, descriptor: Optional[str] = None
+        self,
+        client_name: str,
+        *,
+        descriptor: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> Job:
         with self._lock:
             if self._shutdown:
@@ -434,6 +441,7 @@ class JobManager:
             self._job_counter += 1
             job_id = f"{self.name}-job{self._job_counter}"
             job = Job(job_id, client_name)
+            job.deadline = deadline
             self.jobs[job_id] = job
         job.set_telemetry(self._hub())
         t = job.telemetry
@@ -450,7 +458,12 @@ class JobManager:
         self._bind_journal(job)
         job.journal_event(
             "job-created",
-            {"client": client_name, "manager": self.name, "descriptor": descriptor},
+            {
+                "client": client_name,
+                "manager": self.name,
+                "descriptor": descriptor,
+                "deadline": deadline,
+            },
         )
         if self.directory is not None:
             self.directory.register(job_id, self, job, epoch=job.manager_epoch)

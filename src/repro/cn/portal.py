@@ -23,6 +23,7 @@ from __future__ import annotations
 import io
 import json
 import threading
+import time
 import traceback
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -31,11 +32,28 @@ from typing import Any, Mapping, Optional
 from repro.core.transform.pipeline import Pipeline
 
 from ..analysis.conc.runtime import make_lock
+from .admission import AdmissionController
 from .cluster import Cluster
 from .registry import TaskRegistry
 from .telemetry import chrome_trace, write_jsonl
 
 __all__ = ["Portal", "Submission", "PortalHTTPServer", "main"]
+
+#: largest request body the HTTP layer will read (anything bigger is
+#: refused with 413 before a byte of it is parsed)
+MAX_BODY_BYTES = 2 * 1024 * 1024
+
+#: content types accepted on POST /submit.  An absent header and the
+#: urllib default (x-www-form-urlencoded) stay accepted for
+#: compatibility with existing clients; anything else must look like
+#: XML or plain text.
+_ACCEPTED_CONTENT_TYPES = (
+    "application/x-www-form-urlencoded",
+    "application/xml",
+    "application/xmi+xml",
+    "text/xml",
+    "text/plain",
+)
 
 
 @dataclass
@@ -43,7 +61,13 @@ class Submission:
     """One accepted XMI submission and everything produced from it."""
 
     submission_id: int
-    status: str = "pending"  # pending | rejected | done | failed
+    #: pending | rejected | done | failed | throttled | saturated
+    status: str = "pending"
+    #: tenant the submission was accounted to (admission control)
+    tenant: str = "anon"
+    #: seconds the client should wait before retrying (throttled /
+    #: saturated rejections; becomes the HTTP Retry-After header)
+    retry_after: float = 0.0
     xmi_text: str = ""
     cnx_text: str = ""
     python_source: str = ""
@@ -84,6 +108,7 @@ class Submission:
         return {
             "id": self.submission_id,
             "status": self.status,
+            "tenant": self.tenant,
             "jobs": len(self.results),
             "error": self.error.splitlines()[-1] if self.error else "",
             "diagnostics": len(self.diagnostics),
@@ -103,6 +128,8 @@ class Portal:
         transform: str = "xslt",
         timeout: float = 120.0,
         heartbeats: bool = False,
+        admission: Optional[AdmissionController] = None,
+        max_body_bytes: int = MAX_BODY_BYTES,
     ) -> None:
         self._owns_cluster = cluster is None
         self.cluster = cluster if cluster is not None else Cluster(4, registry=registry)
@@ -113,6 +140,10 @@ class Portal:
             self.cluster.start_heartbeats()
         self.pipeline = Pipeline(transform=transform)
         self.timeout = timeout
+        #: overload protection in front of submit(); None = admit all
+        #: (the seed behavior, and what most unit tests want)
+        self.admission = admission
+        self.max_body_bytes = max_body_bytes
         self._submissions: dict[int, Submission] = {}
         self._counter = 0
         self._lock = make_lock("Portal._lock", reentrant=False)
@@ -122,12 +153,61 @@ class Portal:
         self,
         xmi_text: str,
         runtime_args: Optional[Mapping[str, Any]] = None,
+        *,
+        tenant: str = "anon",
     ) -> Submission:
-        """Accept an XMI document, run the pipeline, record everything."""
+        """Accept an XMI document, run the pipeline, record everything.
+
+        When an :class:`AdmissionController` is attached, the admission
+        decision happens *first* -- before the XMI is parsed or the
+        pipeline touched -- so a rejection under overload costs O(1)
+        regardless of how congested the cluster is.  Quota rejections
+        come back as status ``throttled``, saturation rejections as
+        ``saturated``; both carry a ``retry_after`` hint."""
         with self._lock:
             self._counter += 1
-            submission = Submission(self._counter, xmi_text=xmi_text)
+            submission = Submission(self._counter, tenant=tenant, xmi_text=xmi_text)
             self._submissions[submission.submission_id] = submission
+        admission = self.admission
+        admitted = admission is None
+        if admission is not None:
+            started = time.perf_counter()
+            decision = admission.admit(tenant)
+            self._note_admission(decision, time.perf_counter() - started)
+            if not decision.admitted:
+                submission.status = (
+                    "saturated"
+                    if decision.decision == "reject-saturated"
+                    else "throttled"
+                )
+                submission.retry_after = decision.retry_after
+                submission.error = (
+                    f"admission: {decision.decision} "
+                    f"(saturation={decision.saturation:.2f})"
+                )
+                return submission
+            admitted = True
+        try:
+            return self._run_submission(submission, runtime_args)
+        finally:
+            if admission is not None and admitted:
+                admission.release(tenant)
+
+    def _note_admission(self, decision, latency: float) -> None:
+        telemetry = self.cluster.telemetry
+        if telemetry is None or not telemetry.enabled:
+            return
+        telemetry.metrics.counter(
+            "cn_admission_total", decision=decision.decision
+        ).inc()
+        telemetry.metrics.histogram("cn_admission_latency_seconds").observe(latency)
+
+    def _run_submission(
+        self,
+        submission: Submission,
+        runtime_args: Optional[Mapping[str, Any]],
+    ) -> Submission:
+        xmi_text = submission.xmi_text
         chaos = self.cluster.chaos
         faults_before = len(chaos.log_dicts()) if chaos is not None else 0
         adoptions_before = len(self._adoptions())
@@ -325,21 +405,49 @@ class _Handler(BaseHTTPRequestHandler):
             self._json(404, {"error": "POST /submit only"})
             return
         length = int(self.headers.get("Content-Length", "0"))
+        if length > self.portal.max_body_bytes:
+            # refuse before reading: an oversized body never enters memory
+            self._json(
+                413,
+                {
+                    "error": "request body too large",
+                    "limit_bytes": self.portal.max_body_bytes,
+                },
+            )
+            return
+        content_type = (self.headers.get("Content-Type") or "").split(";")[0].strip()
+        if content_type and content_type.lower() not in _ACCEPTED_CONTENT_TYPES:
+            self._json(
+                415,
+                {
+                    "error": f"unsupported content type {content_type!r}",
+                    "accepted": list(_ACCEPTED_CONTENT_TYPES),
+                },
+            )
+            return
         body = self.rfile.read(length).decode()
         runtime_args = {}
         args_header = self.headers.get("X-Runtime-Args")
         if args_header:
             runtime_args = json.loads(args_header)
-        submission = self.portal.submit(body, runtime_args)
-        codes = {"done": 200, "rejected": 422}
-        self._json(
-            codes.get(submission.status, 500),
-            {
-                **submission.summary(),
-                "results": submission.results,
-                "findings": submission.diagnostics,
-            },
-        )
+        tenant = self.headers.get("X-Tenant") or "anon"
+        submission = self.portal.submit(body, runtime_args, tenant=tenant)
+        codes = {"done": 200, "rejected": 422, "throttled": 429, "saturated": 503}
+        code = codes.get(submission.status, 500)
+        payload = {
+            **submission.summary(),
+            "results": submission.results,
+            "findings": submission.diagnostics,
+        }
+        body_bytes = json.dumps(payload, default=str).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body_bytes)))
+        if submission.retry_after > 0:
+            # standard backoff hint for 429/503 (whole seconds, min 1)
+            self.send_header("Retry-After", str(max(1, int(submission.retry_after + 0.999))))
+        self.end_headers()
+        self.wfile.write(body_bytes)
 
 
 class PortalHTTPServer:

@@ -1,34 +1,54 @@
 """Per-task message queues.
 
 "TaskManager ... sets up a message queue for each Task and then executes
-each Task in a separate thread" (paper section 3).  The queue is a thin
-wrapper over :class:`queue.Queue` adding close semantics (a closed queue
-unblocks waiters with :class:`~repro.cn.errors.ShutdownError`) and
-selective receive (wait for a message matching a predicate while
-buffering the rest), which tasks like the Floyd workers use to pull the
-k-th row broadcast out of order from result traffic.
+each Task in a separate thread" (paper section 3).  The queue is a FIFO
+of :class:`Message` adding close semantics (a closed queue unblocks
+waiters with :class:`~repro.cn.errors.ShutdownError`) and selective
+receive (wait for a message matching a predicate while buffering the
+rest), which tasks like the Floyd workers use to pull the k-th row
+broadcast out of order from result traffic.
+
+Queues may be *bounded* (``maxsize`` > 0) with an explicit backpressure
+policy chosen at construction:
+
+``block``
+    producers wait until a consumer makes room (or the queue closes);
+``reject``
+    producers get :class:`~repro.cn.errors.Overloaded` immediately,
+    carrying the depth/capacity so callers can back off;
+``shed_oldest``
+    the oldest undelivered message is evicted to admit the new one; the
+    eviction is reported through the ``on_shed`` callback (invoked
+    *after* the queue lock is released) so the owner can journal a
+    ``shed`` record and the delivery ledger can replay it later --
+    shedding trades latency for loss only if nobody journals.
+
+The default stays unbounded for seed compatibility.  Capacity counts
+only undelivered buffered messages: the selective-receive stash is
+consumer-side (already delivered once), and chaos-delayed messages are
+in-flight on the simulated link.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
+import time
+from collections import deque
 from typing import TYPE_CHECKING, Callable, Optional
 
-from ..analysis.conc.runtime import make_lock
-from .errors import MessageTimeout, ShutdownError
+from ..analysis.conc.runtime import make_condition
+from .errors import MessageTimeout, Overloaded, ShutdownError
 from .messages import Message
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .chaos import ChaosPolicy
 
-__all__ = ["MessageQueue"]
+__all__ = ["MessageQueue", "QUEUE_POLICIES"]
 
-_CLOSE = object()
+QUEUE_POLICIES = ("block", "reject", "shed_oldest")
 
 
 class MessageQueue:
-    """Unbounded FIFO of :class:`Message` with close and selective recv.
+    """FIFO of :class:`Message` with close, bounds, and selective recv.
 
     An optional :class:`~repro.cn.chaos.ChaosPolicy` makes the queue a
     fault site: each ``put`` may be dropped (lossy link) or delayed
@@ -38,45 +58,43 @@ class MessageQueue:
     the same faults on every run.
     """
 
-    def __init__(self, owner: str, *, chaos: "Optional[ChaosPolicy]" = None) -> None:
+    def __init__(
+        self,
+        owner: str,
+        *,
+        maxsize: int = 0,
+        policy: str = "block",
+        on_shed: Optional[Callable[[Message], None]] = None,
+        chaos: "Optional[ChaosPolicy]" = None,
+    ) -> None:
+        if policy not in QUEUE_POLICIES:
+            raise ValueError(
+                f"unknown queue policy {policy!r}; expected one of {QUEUE_POLICIES}"
+            )
         self.owner = owner
-        self._queue: "queue.Queue" = queue.Queue()
-        self._closed = threading.Event()
+        self.maxsize = int(maxsize)
+        self.policy = policy
+        self._on_shed = on_shed
+        self._cond = make_condition("MessageQueue._cond")
+        self._buffer: deque[Message] = deque()
         self._stash: list[Message] = []
-        self._stash_lock = make_lock("MessageQueue._stash_lock", reentrant=False)
+        self._closed = False
         self._chaos = chaos
         self._put_index = 0
         self._delayed: list[Message] = []
-        self._delay_lock = make_lock("MessageQueue._delay_lock", reentrant=False)
         #: deepest the queue has ever been (telemetry samplers read this;
         #: a high watermark survives the drain that a point-in-time depth
         #: gauge would miss)
         self.high_watermark = 0
+        #: producers refused under the ``reject`` policy
+        self.rejected = 0
+        #: messages evicted under the ``shed_oldest`` policy
+        self.shed = 0
 
     # -- producer side -----------------------------------------------------
     def put(self, message: Message) -> None:
-        if self._closed.is_set():
-            raise ShutdownError(f"queue for {self.owner!r} is closed")
-        if self._chaos is not None and self._chaos.enabled:
-            with self._delay_lock:
-                self._put_index += 1
-                index = self._put_index
-            fate = self._chaos.queue_fate(self.owner, index)
-            if fate == "drop":
-                return
-            if fate == "delay":
-                with self._delay_lock:
-                    self._delayed.append(message)
-                return
-            self._queue.put(message)
-            with self._delay_lock:
-                held, self._delayed = self._delayed, []
-            for late in held:
-                self._queue.put(late)
-            self._note_depth()
-            return
-        self._queue.put(message)
-        self._note_depth()
+        shed = self._put_locked(message, note_depth=True)
+        self._dispatch_shed(shed)
 
     def put_many(self, messages: list[Message]) -> int:
         """Deliver a batch into the queue; returns how many were accepted.
@@ -84,51 +102,125 @@ class MessageQueue:
         Each message still rolls its *own* chaos fate (drop/delay are
         per-delivery decisions keyed by the per-queue index, exactly as
         if :meth:`put` had been called per message), but the depth
-        high-watermark is noted once per batch.  Stops early and returns
-        the partial count if the queue closes mid-batch."""
+        high-watermark is noted exactly once per batch.  Stops early and
+        returns the partial count if the queue closes mid-batch."""
         delivered = 0
-        for message in messages:
-            try:
-                self.put(message)
-            except ShutdownError:
-                break
-            delivered += 1
+        shed: list[Message] = []
+        try:
+            for message in messages:
+                try:
+                    shed.extend(self._put_locked(message, note_depth=False))
+                except ShutdownError:
+                    break
+                delivered += 1
+        finally:
+            with self._cond:
+                self._note_depth_locked()
+            self._dispatch_shed(shed)
         return delivered
 
-    def _note_depth(self) -> None:
-        depth = len(self)
+    def _put_locked(self, message: Message, *, note_depth: bool) -> list[Message]:
+        """Admit one message; returns evicted messages for the caller to
+        report *after* the queue lock is released (journaling or user
+        callbacks must never run under the lock)."""
+        fate = "deliver"
+        chaotic = self._chaos is not None and self._chaos.enabled
+        if chaotic:
+            with self._cond:
+                if self._closed:
+                    raise ShutdownError(f"queue for {self.owner!r} is closed")
+                self._put_index += 1
+                index = self._put_index
+            fate = self._chaos.queue_fate(self.owner, index)
+            if fate == "drop":
+                return []
+        shed: list[Message] = []
+        with self._cond:
+            if self._closed:
+                raise ShutdownError(f"queue for {self.owner!r} is closed")
+            if fate == "delay":
+                self._delayed.append(message)
+                return []
+            self._admit_locked(message, shed)
+            if chaotic and self._delayed:
+                # a successful delivery releases every held-back message
+                # (deterministic reordering); under a full `reject` queue
+                # they simply stay held until a later put finds room.
+                held, self._delayed = self._delayed, []
+                for i, late in enumerate(held):
+                    if (
+                        self.maxsize
+                        and self.policy == "reject"
+                        and len(self._buffer) >= self.maxsize
+                    ):
+                        self._delayed[:0] = held[i:]
+                        break
+                    self._admit_locked(late, shed)
+            if note_depth:
+                self._note_depth_locked()
+            self._cond.notify_all()
+        return shed
+
+    def _admit_locked(self, message: Message, shed_out: list[Message]) -> None:
+        """Apply the backpressure policy, then append.  Caller holds
+        ``_cond``; evictions accumulate in *shed_out* for post-release
+        dispatch."""
+        if self.maxsize and len(self._buffer) >= self.maxsize:
+            if self.policy == "reject":
+                self.rejected += 1
+                raise Overloaded(
+                    self.owner, depth=len(self._buffer), maxsize=self.maxsize
+                )
+            if self.policy == "shed_oldest":
+                while len(self._buffer) >= self.maxsize:
+                    shed_out.append(self._buffer.popleft())
+                    self.shed += 1
+            else:  # block: wait for a consumer to make room
+                while len(self._buffer) >= self.maxsize and not self._closed:
+                    self._cond.wait()
+                if self._closed:
+                    raise ShutdownError(f"queue for {self.owner!r} is closed")
+        self._buffer.append(message)  # conclint: waive CC101 -- callers hold _cond (documented contract)
+
+    def _dispatch_shed(self, shed: list[Message]) -> None:
+        if not shed or self._on_shed is None:
+            return
+        for message in shed:
+            self._on_shed(message)
+
+    def _note_depth_locked(self) -> None:
+        depth = len(self._stash) + len(self._buffer) + len(self._delayed)
         if depth > self.high_watermark:
             self.high_watermark = depth
 
     def close(self) -> None:
-        """Close the queue; pending and future getters raise ShutdownError."""
-        if not self._closed.is_set():
-            self._closed.set()
-            self._queue.put(_CLOSE)
+        """Close the queue; pending and future getters raise ShutdownError
+        once the already-buffered messages have been drained."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
 
     @property
     def closed(self) -> bool:
-        return self._closed.is_set()
+        return self._closed
 
     # -- consumer side -------------------------------------------------------
     def get(self, timeout: Optional[float] = None) -> Message:
         """Next message in arrival order (stashed messages first)."""
-        with self._stash_lock:
-            if self._stash:
-                return self._stash.pop(0)
-        return self._get_raw(timeout)
-
-    def _get_raw(self, timeout: Optional[float]) -> Message:
-        try:
-            item = self._queue.get(timeout=timeout)
-        except queue.Empty:
-            raise MessageTimeout(
-                f"no message for {self.owner!r} within {timeout}s"
-            ) from None
-        if item is _CLOSE:
-            self._queue.put(_CLOSE)  # let other waiters see it too
-            raise ShutdownError(f"queue for {self.owner!r} closed while waiting")
-        return item
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._stash:
+                    return self._stash.pop(0)
+                if self._buffer:
+                    message = self._buffer.popleft()
+                    self._cond.notify_all()
+                    return message
+                if self._closed:
+                    raise ShutdownError(
+                        f"queue for {self.owner!r} closed while waiting"
+                    )
+                self._wait_locked(deadline, timeout)
 
     def get_matching(
         self,
@@ -137,39 +229,49 @@ class MessageQueue:
     ) -> Message:
         """Next message satisfying *predicate*; non-matching messages are
         stashed and later returned by :meth:`get` in their original order."""
-        with self._stash_lock:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
             for index, message in enumerate(self._stash):
                 if predicate(message):
                     return self._stash.pop(index)
-        while True:
-            message = self._get_raw(timeout)
-            if predicate(message):
-                return message
-            with self._stash_lock:
-                self._stash.append(message)
+            while True:
+                while self._buffer:
+                    message = self._buffer.popleft()
+                    self._cond.notify_all()
+                    if predicate(message):
+                        return message
+                    self._stash.append(message)
+                if self._closed:
+                    raise ShutdownError(
+                        f"queue for {self.owner!r} closed while waiting"
+                    )
+                self._wait_locked(deadline, timeout)
+
+    def _wait_locked(self, deadline: Optional[float], timeout: Optional[float]) -> None:
+        """One bounded wait for new arrivals; caller holds ``_cond`` and
+        loops re-checking state after every wake-up."""
+        if deadline is None:
+            self._cond.wait()
+            return
+        remaining = deadline - time.monotonic()
+        if remaining <= 0 or not self._cond.wait(remaining):
+            raise MessageTimeout(
+                f"no message for {self.owner!r} within {timeout}s"
+            )
 
     def drain(self) -> list[Message]:
         """All currently queued messages without blocking (including any
         chaos-delayed messages still held back)."""
-        out: list[Message] = []
-        with self._stash_lock:
-            out.extend(self._stash)
+        with self._cond:
+            out: list[Message] = list(self._stash)
             self._stash.clear()
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            if item is _CLOSE:
-                self._queue.put(_CLOSE)
-                break
-            out.append(item)
-        with self._delay_lock:
+            out.extend(self._buffer)
+            self._buffer.clear()
             out.extend(self._delayed)
             self._delayed.clear()
-        return out
+            self._cond.notify_all()
+            return out
 
     def __len__(self) -> int:
-        with self._delay_lock:
-            delayed = len(self._delayed)
-        return len(self._stash) + self._queue.qsize() + delayed
+        with self._cond:
+            return len(self._stash) + len(self._buffer) + len(self._delayed)

@@ -46,6 +46,8 @@ class CNServer:
         clock: Optional[VirtualClock] = None,
         failure_k: int = 3,
         retry_backoff=None,
+        queue_maxsize: int = 0,
+        queue_policy: str = "block",
     ) -> None:
         self.name = name
         self.bus = bus
@@ -57,6 +59,8 @@ class CNServer:
             slots=slots,
             chaos=chaos,
             clock=clock,
+            queue_maxsize=queue_maxsize,
+            queue_policy=queue_policy,
         )
         self.jobmanager = JobManager(
             f"{name}/jm",

@@ -29,7 +29,7 @@ from typing import Any, Callable, Optional, Type
 
 from ..analysis.conc.runtime import make_lock
 from .chaos import ChaosPolicy, InjectedFault, VirtualClock
-from .errors import CnError, ShutdownError, TaskLoadError
+from .errors import BudgetExhausted, CnError, ShutdownError, TaskLoadError
 from .job import Job, TaskRuntime, TaskState
 from .messages import Message, MessageType
 from .queues import MessageQueue
@@ -73,12 +73,21 @@ class TaskManager:
         slots: int = 64,
         chaos: Optional[ChaosPolicy] = None,
         clock: Optional[VirtualClock] = None,
+        queue_maxsize: int = 0,
+        queue_policy: str = "block",
     ) -> None:
         self.name = name
         self.memory_capacity = memory_capacity
         self.slots = slots
         self.chaos = chaos
         self.clock = clock if clock is not None else VirtualClock()
+        #: backpressure configuration applied to every hosted task queue
+        #: (0 = unbounded, the seed default; see MessageQueue policies)
+        self.queue_maxsize = queue_maxsize
+        self.queue_policy = queue_policy
+        #: task attempts dropped before execution because the job budget
+        #: had already expired (cheaper than running doomed work)
+        self.budget_drops = 0
         #: set by the Cluster: invoked when chaos decides this node dies
         self.crash_hook: Optional[Callable[[], None]] = None
         self._memory_used = 0
@@ -182,7 +191,16 @@ class TaskManager:
                 )
             self._memory_used += runtime.spec.memory
             runtime.queue = MessageQueue(
-                owner=f"{job.job_id}/{runtime.name}", chaos=self.chaos
+                owner=f"{job.job_id}/{runtime.name}",
+                maxsize=self.queue_maxsize,
+                policy=self.queue_policy,
+                # evictions are journaled through the job so the delivery
+                # ledger can re-offer them (shed-then-replay, not loss);
+                # the queue invokes this after releasing its own lock
+                on_shed=lambda m, _job=job, _name=runtime.name: _job.note_shed(
+                    _name, m
+                ),
+                chaos=self.chaos,
             )
             runtime.node_name = self.name
             runtime.state = TaskState.CREATED
@@ -305,6 +323,13 @@ class TaskManager:
         result: Any = None
         error: Optional[str] = None
         try:
+            budget = job.deadline
+            if budget is not None:
+                now = self.clock.now()
+                if now >= budget:
+                    with self._lock:
+                        self.budget_drops += 1
+                    raise BudgetExhausted(runtime.name, deadline=budget, now=now)
             chaos = self.chaos
             if chaos is not None and chaos.enabled:
                 if chaos.should_crash_task(job.job_id, runtime.name, attempt):
@@ -323,6 +348,18 @@ class TaskManager:
             # conclint: waive CC402 -- task instance and context live on this node
             instance._ctx = context  # enables Task.checkpoint/restore
             result = instance.run(context)
+        except BudgetExhausted as exc:
+            # the end-to-end job budget is already spent: executing (or
+            # retrying -- equally doomed) would burn the resources a
+            # saturated cluster is short of, so fail immediately
+            state = TaskState.FAILED
+            error = str(exc)
+            outcome_type = MessageType.TASK_FAILED
+            payload = {
+                "task": runtime.name,
+                "error": error,
+                "reason": "budget-exhausted",
+            }
         except ShutdownError:
             if hosted.timed_out and attempt <= runtime.spec.max_retries:
                 # deadline expiry with retry budget: back into the retry path
@@ -438,19 +475,33 @@ class TaskManager:
         return True
 
     # -- deadlines ------------------------------------------------------------
+    def _effective_deadline(self, h: HostedTask) -> Optional[float]:
+        """The watchdog deadline for one hosting, in seconds from its
+        start: the per-task spec deadline capped by whatever remains of
+        the end-to-end job budget at the moment the attempt started."""
+        deadline = h.runtime.spec.deadline
+        job_deadline = h.job.deadline
+        if job_deadline is not None and h.started_at is not None:
+            remaining = job_deadline - h.started_at
+            deadline = remaining if deadline is None else min(deadline, remaining)
+        return deadline
+
     def expire_deadlines(self, now: Optional[float] = None) -> list[str]:
         """Cancel running tasks past their deadline into the retry path.
 
+        The deadline is the *effective* one: the per-task spec deadline
+        capped by the remaining job budget (a task must not outlive its
+        job's end-to-end deadline even if its own allowance is larger).
         Driven by :meth:`Cluster.tick`; *now* is virtual-clock time.
         Returns the names of the tasks timed out on this call."""
         if now is None:
             now = self.clock.now()
-        expired: list[HostedTask] = []
+        expired: list[tuple[HostedTask, float]] = []
         with self._lock:
             if self._crashed or self._shutdown:
                 return []
             for h in self._hosted.values():
-                deadline = h.runtime.spec.deadline
+                deadline = self._effective_deadline(h)
                 if (
                     deadline is not None
                     and not h.timed_out
@@ -460,8 +511,8 @@ class TaskManager:
                     and h.epoch == h.runtime.epoch
                 ):
                     h.timed_out = True
-                    expired.append(h)
-        for h in expired:
+                    expired.append((h, deadline))
+        for h, deadline in expired:
             timeout_message = Message(
                 MessageType.TASK_TIMEOUT,
                 sender=self.name,
@@ -469,7 +520,7 @@ class TaskManager:
                 payload={
                     "task": h.runtime.name,
                     "node": self.name,
-                    "deadline": h.runtime.spec.deadline,
+                    "deadline": deadline,
                     "attempt": h.runtime.attempts,
                 },
             )
@@ -486,7 +537,7 @@ class TaskManager:
             h.cancel_event.set()
             if h.runtime.queue is not None:
                 h.runtime.queue.close()
-        return [h.runtime.name for h in expired]
+        return [h.runtime.name for h, _ in expired]
 
     def evict(self, job: Job, name: str) -> None:
         """Forget a hosted task (used when a retry re-places elsewhere)."""
@@ -569,6 +620,22 @@ class TaskManager:
             if queue is not None and h.epoch == h.runtime.epoch:
                 total += len(queue)
         return total
+
+    def queue_overload_stats(self) -> tuple[int, int]:
+        """``(rejected, shed)`` totals across this node's live hosted task
+        queues -- the backpressure counters the telemetry samplers gauge.
+        Point-in-time over current hostings (an evicted hosting retires
+        its queue's counts); the authoritative cumulative count per job is
+        ``Job.messages_shed`` / the journal's ``shed`` records."""
+        with self._lock:
+            hosted = list(self._hosted.values())
+        rejected = shed = 0
+        for h in hosted:
+            queue = h.runtime.queue
+            if queue is not None:
+                rejected += queue.rejected
+                shed += queue.shed
+        return rejected, shed
 
     def shutdown(self) -> None:
         with self._lock:

@@ -8,6 +8,11 @@ telemetry is enabled), refreshing per-node gauges:
 * ``cn_node_hosted_tasks`` -- tasks currently hosted by the node;
 * ``cn_node_queued_messages`` -- messages sitting in the node's hosted
   task queues (backpressure signal);
+* ``cn_queue_rejected_total`` / ``cn_queue_shed_total`` -- backpressure
+  outcomes on the node's hosted queues (puts refused by the ``reject``
+  policy, oldest messages evicted by ``shed_oldest``);
+* ``cn_budget_drops_total`` -- task attempts dropped because their
+  job's end-to-end budget was already spent;
 * ``cn_node_heartbeat_misses`` -- consecutive missed heartbeats as seen
   by the watching failure detectors (max over watchers), i.e. how close
   each node is to being declared dead;
@@ -45,6 +50,16 @@ def sample_node(
     queued = getattr(tm, "queued_messages", None)
     if callable(queued):
         registry.gauge("cn_node_queued_messages", node=node).set(queued())
+    overload = getattr(tm, "queue_overload_stats", None)
+    if callable(overload):
+        # backpressure outcomes across the node's hosted queues: how many
+        # puts were refused (reject policy) or evicted (shed_oldest)
+        rejected, shed = overload()
+        registry.gauge("cn_queue_rejected_total", node=node).set(rejected)
+        registry.gauge("cn_queue_shed_total", node=node).set(shed)
+    drops = getattr(tm, "budget_drops", None)
+    if drops is not None:
+        registry.gauge("cn_budget_drops_total", node=node).set(drops)
 
 
 def sample_cluster(registry: MetricsRegistry, cluster: Any) -> None:
