@@ -69,6 +69,13 @@ GUARDED_BY: dict[str, str] = {
     "AdmissionController._buckets": "AdmissionController._lock",
     "AdmissionController._in_flight": "AdmissionController._lock",
     "AdmissionController.counts": "AdmissionController._lock",
+    # Transport-robustness slice: dead-letter bookkeeping mutates under
+    # the job lock; the queue's poison counter under the queue condition;
+    # the chaos fault log only ever grows under its dedicated lock.
+    "Job.dead_letters": "Job._lock",
+    "Job.messages_poisoned": "Job._lock",
+    "MessageQueue.poisoned": "MessageQueue._cond",
+    "ChaosPolicy.log": "ChaosPolicy._log_lock",
 }
 
 # -- blocking / re-entrancy hazard table --------------------------------------

@@ -27,8 +27,11 @@ site          hook                                   injected by
 ============  =====================================  ==================
 task start    ``should_crash_task`` / ``should_stall``  TaskManager
 node          ``node_crash_due`` / ``nodes_to_crash``   TaskManager / Cluster.tick
-task queue    ``queue_fate`` (drop / delay)             MessageQueue.put
+task queue    ``queue_fate`` (drop / delay /            MessageQueue.put
+              duplicate / reorder / corrupt)
 multicast     ``bus_drop``                              MulticastBus
+partition     ``note_partition`` / ``note_heal`` /      Cluster.partition /
+              ``note_revive`` (recording only)          heal_partition / revive_node
 ============  =====================================  ==================
 
 A :class:`ChaosPolicy` with no rates and no scripted faults reports
@@ -109,8 +112,11 @@ class FaultRecord:
     """One injected fault: what kind, where, and against which target."""
 
     seq: int
-    kind: str  # task-crash | stall | node-crash | queue-drop | queue-delay | bus-drop
-    site: str  # task | node | queue:<owner> | bus
+    # task-crash | stall | node-crash | node-revive | queue-drop |
+    # queue-delay | queue-duplicate | queue-reorder | queue-corrupt |
+    # bus-drop | burst | partition | partition-heal
+    kind: str
+    site: str  # task | node | queue:<owner> | bus | portal
     target: str
     detail: dict = field(default_factory=dict)
 
@@ -179,7 +185,13 @@ class ChaosPolicy:
         queue_drop_rate: float = 0.0,
         queue_delay_rate: float = 0.0,
         bus_drop_rate: float = 0.0,
+        queue_duplicate_rate: float = 0.0,
+        queue_reorder_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        reorder_hold: int = 2,
     ) -> None:
+        if reorder_hold < 1:
+            raise ValueError(f"reorder_hold must be >= 1, got {reorder_hold}")
         self.seed = seed
         self.task_crash_rate = task_crash_rate
         self.stall_rate = stall_rate
@@ -187,6 +199,13 @@ class ChaosPolicy:
         self.queue_drop_rate = queue_drop_rate
         self.queue_delay_rate = queue_delay_rate
         self.bus_drop_rate = bus_drop_rate
+        # transport-robustness fault modes (at-least-once duplication,
+        # bounded reordering, payload corruption) -- the link behaviours
+        # a real-socket transport would exhibit; see MessageQueue
+        self.queue_duplicate_rate = queue_duplicate_rate
+        self.queue_reorder_rate = queue_reorder_rate
+        self.corrupt_rate = corrupt_rate
+        self.reorder_hold = reorder_hold
         self.log: list[FaultRecord] = []
         self._log_lock = make_lock("ChaosPolicy._log_lock", reentrant=False)
         self._seq = itertools.count(1)
@@ -199,6 +218,14 @@ class ChaosPolicy:
         # and scripted submission-burst schedules (tick -> burst size)
         self._slow_consumers: dict[str, int] = {}
         self._bursts: dict[int, int] = {}
+        # scripted corruption: owner substring -> first delivery index to
+        # corrupt (fires once per entry, consumed on match)
+        self._corruptions: dict[str, int] = {}
+        # per-owner queue incarnation counts (see register_queue): a
+        # re-placed task's fresh queue must not replay the exact fate
+        # stream its predecessor saw, or a fated index becomes a
+        # deterministic livelock that no retry can ever escape
+        self._queue_gens: dict[str, int] = {}
         self._script_lock = make_lock("ChaosPolicy._script_lock", reentrant=False)
         # armed = some fault could ever fire.  Rates are fixed at
         # construction and scripted faults only arrive through the
@@ -213,6 +240,9 @@ class ChaosPolicy:
             or queue_drop_rate
             or queue_delay_rate
             or bus_drop_rate
+            or queue_duplicate_rate
+            or queue_reorder_rate
+            or corrupt_rate
         )
 
     # -- scripting -----------------------------------------------------------
@@ -263,6 +293,18 @@ class ChaosPolicy:
         self._armed = True
         return self
 
+    def corrupt_message(self, owner_substring: str, index: int = 1) -> "ChaosPolicy":
+        """Corrupt the payload of one frame: the first delivery with
+        per-queue index >= *index* put on a queue whose owner contains
+        *owner_substring*.  One-shot, consumed on match -- the scripted
+        equivalent of a single bit-flip on the link."""
+        if index < 1:
+            raise ValueError(f"index must be >= 1, got {index}")
+        with self._script_lock:
+            self._corruptions[owner_substring] = index
+        self._armed = True
+        return self
+
     def schedule_burst(self, tick: int, submissions: int) -> "ChaosPolicy":
         """Overload mode: script a submission storm of *submissions* jobs
         due at *tick*.  The storm driver (a benchmark or a portal test)
@@ -275,6 +317,24 @@ class ChaosPolicy:
             self._bursts[tick] = self._bursts.get(tick, 0) + submissions
         self._armed = True
         return self
+
+    def register_queue(self, owner: str) -> str:
+        """Fate namespace for a new queue incarnation of *owner*.
+
+        The first incarnation keeps the bare owner as its namespace --
+        fate streams are unchanged for every queue that is never
+        re-placed, and a twin-seeded policy predicting fates via
+        :meth:`queue_fate` without registering stays in sync.  Each
+        later incarnation (a re-placement after a crash or watchdog
+        retry) is suffixed with its generation, giving the attempt's
+        replayed deliveries an independent fate roll: a retransmit on a
+        real link re-rolls its luck, and so must ours, or the same
+        delivery is dropped/held on every attempt forever.
+        """
+        with self._script_lock:
+            generation = self._queue_gens.setdefault(owner, 0)
+            self._queue_gens[owner] = generation + 1
+        return owner if generation == 0 else f"{owner}~{generation}"
 
     def bursts_due(self, tick: int) -> int:
         """Scripted submission-storm size due at *tick* (consumed)."""
@@ -351,14 +411,28 @@ class ChaosPolicy:
         return due
 
     def queue_fate(self, owner: str, index: int) -> str:
-        """``deliver`` | ``drop`` | ``delay`` for the *index*-th message
-        put on the queue *owner* (per-queue counter = stable key)."""
+        """``deliver`` | ``drop`` | ``delay`` | ``duplicate`` |
+        ``reorder`` | ``corrupt`` for the *index*-th message put on the
+        queue *owner* (per-queue counter = stable key)."""
         with self._script_lock:
+            corrupt_hit = None
+            for sub, at in self._corruptions.items():
+                if sub in owner and index >= at:
+                    corrupt_hit = sub
+                    break
+            if corrupt_hit is not None:
+                del self._corruptions[corrupt_hit]
             slow = [
                 (sub, stride)
                 for sub, stride in self._slow_consumers.items()
                 if sub in owner
             ]
+        if corrupt_hit is not None:
+            self._record(
+                "queue-corrupt", f"queue:{owner}", owner,
+                index=index, scripted=True,
+            )
+            return "corrupt"
         for sub, stride in slow:
             if index % stride == 0:
                 self._record(
@@ -373,6 +447,18 @@ class ChaosPolicy:
         if self._decide("queue-delay", key, self.queue_delay_rate):
             self._record("queue-delay", f"queue:{owner}", owner, index=index)
             return "delay"
+        if self._decide("queue-duplicate", key, self.queue_duplicate_rate):
+            self._record("queue-duplicate", f"queue:{owner}", owner, index=index)
+            return "duplicate"
+        if self._decide("queue-reorder", key, self.queue_reorder_rate):
+            self._record(
+                "queue-reorder", f"queue:{owner}", owner,
+                index=index, hold=self.reorder_hold,
+            )
+            return "reorder"
+        if self._decide("queue-corrupt", key, self.corrupt_rate):
+            self._record("queue-corrupt", f"queue:{owner}", owner, index=index)
+            return "corrupt"
         return "deliver"
 
     def bus_drop(self, sender: str, subscriber: str, index: int) -> bool:
@@ -381,6 +467,27 @@ class ChaosPolicy:
             self._record("bus-drop", "bus", subscriber, sender=sender, index=index)
             return True
         return False
+
+    # -- structural fault recording (injected by the Cluster) -----------------
+    #
+    # Partitions, heals and revives are not chaos *decisions* -- the test
+    # or simulation driver imposes them -- but they are faults, and a
+    # trace that omits them cannot explain the run.  The Cluster calls
+    # these so the structured log and the topology agree on what
+    # happened and when.
+    def note_partition(self, groups: Any) -> None:
+        """Record a network partition imposed via ``Cluster.partition``."""
+        normal = sorted(sorted(str(n) for n in group) for group in groups)
+        target = " | ".join(",".join(group) for group in normal)
+        self._record("partition", "bus", target, groups=normal)
+
+    def note_heal(self) -> None:
+        """Record a partition heal (full reachability restored)."""
+        self._record("partition-heal", "bus", "*")
+
+    def note_revive(self, node: str) -> None:
+        """Record a node revival via ``Cluster.revive_node``."""
+        self._record("node-revive", "node", node.split("/")[0])
 
     # -- the log ---------------------------------------------------------------
     def fault_summary(self) -> list[tuple[str, str, str]]:

@@ -75,6 +75,7 @@ class Cluster(AbstractContextManager):
         verify_locking: Optional[bool] = None,
         queue_maxsize: int = 0,
         queue_policy: str = "block",
+        checksums: bool = False,
     ) -> None:
         if nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -120,9 +121,12 @@ class Cluster(AbstractContextManager):
                 retry_backoff=retry_backoff,
                 queue_maxsize=queue_maxsize,
                 queue_policy=queue_policy,
+                checksums=checksums,
             )
             for name in names
         ]
+        #: whether the data plane seals/verifies CRC frame digests
+        self.checksums = checksums
         #: graceful-degradation knob: the admission controller lowers this
         #: below 1.0 when the cluster approaches saturation, and the client
         #: runner scales its dynamic-expansion memory budget by it so new
@@ -215,13 +219,22 @@ class Cluster(AbstractContextManager):
 
     def revive_node(self, name: str) -> None:
         """Bring a dead node back empty; its next heartbeat resurrects it
-        in every failure detector and it becomes placeable again."""
+        in every failure detector and it becomes placeable again.
+
+        Revival also re-admits the node into the default reachability
+        set: if a partition was imposed while the node was dead (or it
+        was killed mid-partition), stale group membership must not keep
+        the rebooted machine isolated from peers outside its old group.
+        """
         server = self.server(name)
         if name not in self._dead:
             return
         self._dead.discard(name)
         server.taskmanager.revive()
         server.rejoin_subnet()
+        self.bus.readmit(name)
+        if self.chaos is not None:
+            self.chaos.note_revive(name)
         for peer in self.alive_servers():
             peer.jobmanager.register_taskmanager(server.taskmanager)
             server.jobmanager.register_taskmanager(peer.taskmanager)
@@ -229,9 +242,15 @@ class Cluster(AbstractContextManager):
     def partition(self, *groups: Sequence[str]) -> None:
         """Split the subnet into isolated groups of node names."""
         self.bus.set_partition(groups)
+        if self.chaos is not None:
+            # imposed topology changes belong in the structured fault log
+            # too, or simulation traces cannot explain delivery gaps
+            self.chaos.note_partition(groups)
 
     def heal_partition(self) -> None:
         self.bus.heal_partition()
+        if self.chaos is not None:
+            self.chaos.note_heal()
 
     def alive_servers(self) -> list[CNServer]:
         return [s for s in self.servers if s.name not in self._dead]

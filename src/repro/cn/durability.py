@@ -66,6 +66,7 @@ RECORD_KINDS = (
     "delivery_batch",  # messages (list[Message])     -- one fan-out, batched
     "ledger-gc",     # task, upto                     -- ledger truncation
     "shed",          # task, serial                   -- backpressure eviction
+    "dead-letter",   # task, serial, digests          -- poison quarantine
     "checkpoint",    # task, tag, state               -- application state
     "job-finished",  # failed (bool)
 )
@@ -398,6 +399,9 @@ class JobSnapshot:
     #: absolute end-to-end deadline on the cluster clock, if the job
     #: carried a budget
     deadline: Optional[float] = None
+    #: quarantined-frame records (one per poisoned dequeue); survive
+    #: adoption so the successor's portal artifacts stay complete
+    dead_letters: list[dict] = field(default_factory=list)
     checkpoints: dict[str, tuple[Any, Any]] = field(default_factory=dict)
     finished: bool = False
     failed: bool = False
@@ -497,6 +501,10 @@ def replay_job(job_id: str, records: Iterable[JournalRecord]) -> JobSnapshot:
             serials = snapshot.sheds.setdefault(task, [])
             if serial not in serials:
                 serials.append(serial)
+        elif kind == "dead-letter":
+            # a corrupt frame was quarantined at dequeue; keep the full
+            # record so portal artifacts and oracles can account for it
+            snapshot.dead_letters.append(dict(data))
         elif kind == "checkpoint":
             snapshot.checkpoints[data["task"]] = (data.get("tag"), data.get("state"))
         elif kind == "job-finished":

@@ -21,11 +21,12 @@ from ..core.cnx.schema import CnxTask
 from .errors import (
     JobError,
     JobTimeoutError,
+    Overloaded,
     ShutdownError,
     TaskFailedError,
     UnknownTaskError,
 )
-from .messages import Message, MessageType
+from .messages import Message, MessageType, payload_digest
 from .queues import MessageQueue
 from .runmodel import RunModel
 from .tuplespace import TupleSpace
@@ -34,6 +35,12 @@ __all__ = ["TaskSpec", "TaskState", "TaskRuntime", "Job", "payload_nbytes"]
 
 #: recursion guard for :func:`payload_nbytes` on nested containers
 _SIZE_DEPTH_LIMIT = 12
+
+#: how many times a poisoned serial may be re-offered from the ledger
+#: before the job gives up on live redelivery (the ledger still holds
+#: the message for attempt-level replay); bounds the corrupt-redeliver
+#: loop a corrupt_rate=1.0 link would otherwise spin forever
+_POISON_REOFFER_LIMIT = 3
 
 
 def payload_nbytes(payload: Any, _depth: int = 0) -> Optional[int]:
@@ -209,6 +216,16 @@ class Job:
         #: messages evicted from bounded task queues under backpressure
         #: (each one is journaled as a ``shed`` record; see note_shed)
         self.messages_shed = 0
+        #: whether the router seals outbound messages with a CRC digest
+        #: (set from the owning JobManager; see note_poison)
+        self.checksums = False
+        #: frames quarantined by dequeue-time digest verification
+        self.messages_poisoned = 0
+        #: per-job dead-letter records, one per quarantined frame
+        #: (journaled as ``dead-letter`` so they survive replay_job)
+        self.dead_letters: list[dict] = []
+        # re-offer budget per poisoned serial (see _POISON_REOFFER_LIMIT)
+        self._poison_reoffers: dict[int, int] = {}
         # per-task delivery ledger: everything ever routed to each task,
         # replayed into the fresh queue when a task is re-placed after a
         # crash so restarted attempts see the full message history.
@@ -457,18 +474,22 @@ class Job:
         if not messages:
             return
         deadline = self.deadline
-        if self.telemetry is not None or deadline is not None:
+        checksums = self.checksums
+        if self.telemetry is not None or deadline is not None or checksums:
             # stamp the job's causal context on unattributed messages so
-            # downstream consumers can always walk back to a span, and
-            # the job deadline on unstamped messages so every hop can
-            # drop doomed work; replace() re-uses the existing serial/ts
-            # (no logical-clock disturbance)
+            # downstream consumers can always walk back to a span, the
+            # job deadline on unstamped messages so every hop can drop
+            # doomed work, and the CRC digest so dequeue verification can
+            # quarantine in-flight corruption; replace() re-uses the
+            # existing serial/ts (no logical-clock disturbance)
             stamped: list[Message] = []
             for m in messages:
                 if self.telemetry is not None and m.trace_ctx is None:
                     m = replace(m, trace_ctx=(self.job_id, "job"))
                 if deadline is not None and m.deadline is None:
                     m = replace(m, deadline=deadline)
+                if checksums and m.digest is None:
+                    m = m.seal()
                 stamped.append(m)
             messages = stamped
         # resolve every recipient before mutating anything: an unknown
@@ -587,6 +608,60 @@ class Job:
         with self._lock:
             self.messages_shed += 1
         self.journal_event("shed", {"task": task, "serial": message.serial})
+
+    def note_poison(self, task: str, message: Message) -> None:
+        """Quarantine a corrupt frame dequeued from *task*'s queue.
+
+        Called by the queue's poison hook (outside the queue lock).  The
+        frame is recorded as a per-job dead-letter (journaled, so the
+        record survives ``replay_job`` and manager failover) and -- while
+        the per-serial re-offer budget lasts -- the *pristine* ledgered
+        copy of the same serial is re-offered into the live queue:
+        corruption happened to the in-flight copy, the ledger still holds
+        the original, so the consumer usually sees nothing worse than a
+        reordering.
+        """
+        original: Optional[Message] = None
+        with self._lock:
+            self.messages_poisoned += 1
+            entry = {
+                "task": task,
+                "serial": message.serial,
+                "sender": message.sender,
+                "type": message.type,
+                "expected_digest": message.digest,
+                "observed_digest": payload_digest(message.payload),
+            }
+            self.dead_letters.append(entry)
+            offers = self._poison_reoffers.get(message.serial, 0)
+            if offers < _POISON_REOFFER_LIMIT:
+                self._poison_reoffers[message.serial] = offers + 1
+                for logged in self._delivery_log.get(task, ()):
+                    if logged.serial == message.serial:
+                        original = logged
+                        break
+        self.journal_event("dead-letter", dict(entry))
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "cn_dead_letters_total", job=self.job_id
+            ).inc()
+        if original is not None:
+            runtime = self.tasks.get(task)
+            queue = runtime.queue if runtime is not None else None
+            if queue is not None:
+                try:
+                    queue.put(original)
+                except (ShutdownError, Overloaded) as exc:
+                    # the ledger still holds the message for attempt-level
+                    # replay; record the failed live re-offer
+                    from .trace import note_undeliverable  # local: trace imports api
+
+                    note_undeliverable(self.job_id, original, exc)
+
+    def restore_dead_letters(self, entries: Sequence[dict]) -> None:
+        """Seed the dead-letter store from a journal replay (adoption)."""
+        with self._lock:
+            self.dead_letters.extend(dict(e) for e in entries)
 
     def has_ledgered(self, name: str) -> bool:
         """Whether any un-GC'd deliveries are ledgered for *name*."""

@@ -159,6 +159,9 @@ class JobManager:
         #: cluster Telemetry hub (set by Cluster/CNServer wiring); None or
         #: a disabled hub means zero instrumentation on every path below
         self.telemetry: Optional[Any] = None
+        #: seal outbound frames with CRC digests on every job this
+        #: manager creates or adopts (set by CNServer wiring)
+        self.checksums = False
 
     # -- discovery ---------------------------------------------------------
     def willing_to_manage(self, solicitation: Solicitation) -> Optional[dict]:
@@ -296,6 +299,7 @@ class JobManager:
         # the budget survives failover: the successor enforces the same
         # absolute deadline the dead manager journaled at creation
         job.deadline = snapshot.deadline
+        job.checksums = self.checksums
         with self._lock:
             if self._shutdown:
                 raise CnError(f"JobManager {self.name!r} is shut down")
@@ -331,6 +335,7 @@ class JobManager:
                 runtime.error = snapshot.errors.get(name)
         job.restore_deliveries(snapshot.deliveries, snapshot.gc_watermarks)
         job.restore_checkpoints(snapshot.checkpoints)
+        job.restore_dead_letters(snapshot.dead_letters)
         # migrate the client conduit: drain the dead manager's client
         # queue into the new job's (trace history survives), close the
         # old one so zombie notifications surface as undeliverable
@@ -442,6 +447,7 @@ class JobManager:
             job_id = f"{self.name}-job{self._job_counter}"
             job = Job(job_id, client_name)
             job.deadline = deadline
+            job.checksums = self.checksums
             self.jobs[job_id] = job
         job.set_telemetry(self._hub())
         t = job.telemetry

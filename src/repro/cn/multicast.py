@@ -167,6 +167,18 @@ class MulticastBus:
         with self._lock:
             self._groups = None
 
+    def readmit(self, name: str) -> None:
+        """Return one node to the default reachability set (heal-on-
+        revive): a rebooted machine rejoins the open subnet rather than
+        inheriting the partition group it died in.  If that empties the
+        partition map the partition is fully healed."""
+        node = _node_of(name)
+        with self._lock:
+            if self._groups is not None:
+                self._groups.pop(node, None)
+                if not self._groups:
+                    self._groups = None
+
     def reachable(self, sender: str, receiver: str) -> bool:
         with self._lock:
             groups = self._groups

@@ -84,6 +84,10 @@ class Submission:
     #: manager-failover adoptions recorded in the replicated job journal
     #: while this submission ran (job_id, successor, previous, epoch)
     failover_events: list[dict[str, Any]] = field(default_factory=list)
+    #: poison-message quarantines journaled while this submission ran
+    #: (job_id, task, serial, digests) -- corrupt frames the transport
+    #: checksums caught and dead-lettered instead of delivering
+    dead_letter_events: list[dict[str, Any]] = field(default_factory=list)
     #: Chrome trace_event JSON for the jobs this submission ran (load in
     #: chrome://tracing or Perfetto); empty when telemetry is disabled
     timeline: str = ""
@@ -100,6 +104,7 @@ class Submission:
             "diagnostics": json.dumps(self.diagnostics, indent=2),
             "faults": json.dumps(self.fault_events, indent=2),
             "failovers": json.dumps(self.failover_events, indent=2),
+            "dead-letters": json.dumps(self.dead_letter_events, indent=2),
             "timeline": self.timeline,
             "telemetry.jsonl": self.telemetry_jsonl,
         }
@@ -114,6 +119,7 @@ class Submission:
             "diagnostics": len(self.diagnostics),
             "faults": len(self.fault_events),
             "failovers": len(self.failover_events),
+            "dead_letters": len(self.dead_letter_events),
         }
 
 
@@ -211,6 +217,7 @@ class Portal:
         chaos = self.cluster.chaos
         faults_before = len(chaos.log_dicts()) if chaos is not None else 0
         adoptions_before = len(self._adoptions())
+        dead_letters_before = len(self._dead_letters())
         telemetry = self.cluster.telemetry
         traces_before = (
             set(telemetry.spans.trace_ids())
@@ -243,12 +250,14 @@ class Portal:
             if chaos is not None:
                 submission.fault_events = chaos.log_dicts()[faults_before:]
             submission.failover_events = self._adoptions()[adoptions_before:]
+            submission.dead_letter_events = self._dead_letters()[dead_letters_before:]
         except Exception:  # noqa: BLE001  # conclint: waive CC302 -- submission failures of any kind become the artifact's error field
             submission.status = "failed"
             submission.error = traceback.format_exc()
             if chaos is not None:
                 submission.fault_events = chaos.log_dicts()[faults_before:]
             submission.failover_events = self._adoptions()[adoptions_before:]
+            submission.dead_letter_events = self._dead_letters()[dead_letters_before:]
         finally:
             self._capture_timeline(submission, telemetry, traces_before)
         return submission
@@ -301,6 +310,27 @@ class Portal:
                         "manager_epoch": record.mepoch,
                     },
                 )
+        return [seen[key] for key in sorted(seen)]
+
+    def _dead_letters(self) -> list[dict[str, Any]]:
+        """All poison-message quarantines visible in the cluster's
+        replicated journals, deduped (each record replicates to every
+        live node) and ordered by (job, task, serial)."""
+        seen: dict[tuple[str, str, int], dict[str, Any]] = {}
+        for server in self.cluster.servers:
+            journal = getattr(server, "journal", None)
+            if journal is None:
+                continue
+            for record in journal.records():
+                if record.kind != "dead-letter":
+                    continue
+                data = record.data
+                key = (
+                    record.job_id,
+                    str(data.get("task", "")),
+                    int(data.get("serial", 0)),
+                )
+                seen.setdefault(key, {"job_id": record.job_id, **data})
         return [seen[key] for key in sorted(seen)]
 
     def _analyze(self, model):

@@ -37,7 +37,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from ..analysis.conc.runtime import make_condition
 from .errors import MessageTimeout, Overloaded, ShutdownError
-from .messages import Message
+from .messages import Message, corrupt_copy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .chaos import ChaosPolicy
@@ -51,11 +51,20 @@ class MessageQueue:
     """FIFO of :class:`Message` with close, bounds, and selective recv.
 
     An optional :class:`~repro.cn.chaos.ChaosPolicy` makes the queue a
-    fault site: each ``put`` may be dropped (lossy link) or delayed
-    (the message is held back and delivered just after the *next*
-    successful put -- a deterministic reordering).  Fate decisions are
+    fault site: each ``put`` may be dropped (lossy link), delayed (held
+    back and delivered just after the *next* successful put), duplicated
+    (admitted twice, the at-least-once retransmit), reordered (held back
+    for ``reorder_hold`` successful puts -- a bounded reordering), or
+    corrupted (the payload is damaged in flight).  Fate decisions are
     keyed by the per-queue delivery index, so a fixed chaos seed injects
     the same faults on every run.
+
+    With ``verify_digests=True`` every dequeued message carrying a
+    digest is re-checksummed; a mismatch is *quarantined* -- counted in
+    ``poisoned``, reported through ``on_poison`` (invoked after the
+    queue lock is released), and never handed to the consumer -- so a
+    corrupt frame degrades to a per-job dead-letter record instead of
+    crashing the task that would have deserialized it.
     """
 
     def __init__(
@@ -66,6 +75,8 @@ class MessageQueue:
         policy: str = "block",
         on_shed: Optional[Callable[[Message], None]] = None,
         chaos: "Optional[ChaosPolicy]" = None,
+        verify_digests: bool = False,
+        on_poison: Optional[Callable[[Message], None]] = None,
     ) -> None:
         if policy not in QUEUE_POLICIES:
             raise ValueError(
@@ -80,8 +91,16 @@ class MessageQueue:
         self._stash: list[Message] = []
         self._closed = False
         self._chaos = chaos
+        # fate namespace: re-placed incarnations of the same owner roll
+        # fresh fates (a retransmitted delivery re-rolls its luck)
+        self._fate_ns = owner if chaos is None else chaos.register_queue(owner)
         self._put_index = 0
-        self._delayed: list[Message] = []
+        self._verify = bool(verify_digests)
+        self._on_poison = on_poison
+        # chaos-held messages as [message, remaining-puts-before-release]
+        # pairs: delay holds for 1 successful put, reorder for
+        # ``chaos.reorder_hold`` -- a bounded reordering window
+        self._delayed: list[list] = []
         #: deepest the queue has ever been (telemetry samplers read this;
         #: a high watermark survives the drain that a point-in-time depth
         #: gauge would miss)
@@ -90,6 +109,8 @@ class MessageQueue:
         self.rejected = 0
         #: messages evicted under the ``shed_oldest`` policy
         self.shed = 0
+        #: messages quarantined at dequeue by digest verification
+        self.poisoned = 0
 
     # -- producer side -----------------------------------------------------
     def put(self, message: Message) -> None:
@@ -131,35 +152,53 @@ class MessageQueue:
                     raise ShutdownError(f"queue for {self.owner!r} is closed")
                 self._put_index += 1
                 index = self._put_index
-            fate = self._chaos.queue_fate(self.owner, index)
+            fate = self._chaos.queue_fate(self._fate_ns, index)
             if fate == "drop":
                 return []
         shed: list[Message] = []
         with self._cond:
             if self._closed:
                 raise ShutdownError(f"queue for {self.owner!r} is closed")
-            if fate == "delay":
-                self._delayed.append(message)
+            if fate in ("delay", "reorder"):
+                hold = 1 if fate == "delay" else self._chaos.reorder_hold
+                self._delayed.append([message, hold])
                 return []
+            if fate == "corrupt":
+                message = corrupt_copy(message)
             self._admit_locked(message, shed)
+            if fate == "duplicate":
+                # the at-least-once retransmit: the same frame (same
+                # serial) admitted twice
+                self._admit_locked(message, shed)
             if chaotic and self._delayed:
-                # a successful delivery releases every held-back message
-                # (deterministic reordering); under a full `reject` queue
-                # they simply stay held until a later put finds room.
-                held, self._delayed = self._delayed, []
-                for i, late in enumerate(held):
-                    if (
-                        self.maxsize
-                        and self.policy == "reject"
-                        and len(self._buffer) >= self.maxsize
-                    ):
-                        self._delayed[:0] = held[i:]
-                        break
-                    self._admit_locked(late, shed)
+                self._release_held_locked(shed)
             if note_depth:
                 self._note_depth_locked()
             self._cond.notify_all()
         return shed
+
+    def _release_held_locked(self, shed_out: list[Message]) -> None:
+        """A successful delivery ages every held-back message by one put;
+        those whose hold expires are admitted (deterministic bounded
+        reordering).  Under a full ``reject`` queue expired messages
+        simply stay held until a later put finds room.  Caller holds
+        ``_cond``."""
+        still: list[list] = []
+        for entry in self._delayed:
+            if entry[1] > 1:
+                entry[1] -= 1
+                still.append(entry)
+                continue
+            if (
+                self.maxsize
+                and self.policy == "reject"
+                and len(self._buffer) >= self.maxsize
+            ):
+                entry[1] = 1
+                still.append(entry)
+                continue
+            self._admit_locked(entry[0], shed_out)
+        self._delayed = still  # conclint: waive CC101 -- callers hold _cond (documented contract)
 
     def _admit_locked(self, message: Message, shed_out: list[Message]) -> None:
         """Apply the backpressure policy, then append.  Caller holds
@@ -205,22 +244,49 @@ class MessageQueue:
         return self._closed
 
     # -- consumer side -------------------------------------------------------
+    def _poisoned(self, message: Message) -> bool:
+        """Whether dequeue-time verification rejects *message* (pure
+        check; the caller counts and quarantines)."""
+        return self._verify and message.digest is not None and not message.digest_ok()
+
+    def _dispatch_poison(self, message: Optional[Message]) -> None:
+        """Report a quarantined frame.  Called with the queue lock
+        released: the handler journals a dead-letter record and may
+        re-offer the pristine ledgered copy via :meth:`put`, which
+        re-acquires ``_cond``."""
+        if message is None or self._on_poison is None:
+            return
+        self._on_poison(message)
+
     def get(self, timeout: Optional[float] = None) -> Message:
-        """Next message in arrival order (stashed messages first)."""
+        """Next message in arrival order (stashed messages first).
+
+        Messages failing digest verification are quarantined (never
+        returned) and the wait continues against the original deadline.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
-        with self._cond:
-            while True:
-                if self._stash:
-                    return self._stash.pop(0)
-                if self._buffer:
-                    message = self._buffer.popleft()
-                    self._cond.notify_all()
-                    return message
-                if self._closed:
-                    raise ShutdownError(
-                        f"queue for {self.owner!r} closed while waiting"
-                    )
-                self._wait_locked(deadline, timeout)
+        while True:
+            poison: Optional[Message] = None
+            with self._cond:
+                while True:
+                    if self._stash:
+                        # stashed messages were verified when first
+                        # dequeued by get_matching
+                        return self._stash.pop(0)
+                    if self._buffer:
+                        message = self._buffer.popleft()
+                        self._cond.notify_all()
+                        if self._poisoned(message):
+                            self.poisoned += 1
+                            poison = message
+                            break
+                        return message
+                    if self._closed:
+                        raise ShutdownError(
+                            f"queue for {self.owner!r} closed while waiting"
+                        )
+                    self._wait_locked(deadline, timeout)
+            self._dispatch_poison(poison)
 
     def get_matching(
         self,
@@ -230,22 +296,35 @@ class MessageQueue:
         """Next message satisfying *predicate*; non-matching messages are
         stashed and later returned by :meth:`get` in their original order."""
         deadline = None if timeout is None else time.monotonic() + timeout
-        with self._cond:
-            for index, message in enumerate(self._stash):
-                if predicate(message):
-                    return self._stash.pop(index)
-            while True:
-                while self._buffer:
-                    message = self._buffer.popleft()
-                    self._cond.notify_all()
+        matched: Optional[Message] = None
+        while True:
+            poison: Optional[Message] = None
+            with self._cond:
+                for index, message in enumerate(self._stash):
                     if predicate(message):
-                        return message
-                    self._stash.append(message)
-                if self._closed:
-                    raise ShutdownError(
-                        f"queue for {self.owner!r} closed while waiting"
-                    )
-                self._wait_locked(deadline, timeout)
+                        return self._stash.pop(index)
+                while True:
+                    while self._buffer:
+                        message = self._buffer.popleft()
+                        self._cond.notify_all()
+                        if self._poisoned(message):
+                            self.poisoned += 1
+                            poison = message
+                            break
+                        if predicate(message):
+                            matched = message
+                            break
+                        self._stash.append(message)
+                    if matched is not None or poison is not None:
+                        break
+                    if self._closed:
+                        raise ShutdownError(
+                            f"queue for {self.owner!r} closed while waiting"
+                        )
+                    self._wait_locked(deadline, timeout)
+            if matched is not None:
+                return matched
+            self._dispatch_poison(poison)
 
     def _wait_locked(self, deadline: Optional[float], timeout: Optional[float]) -> None:
         """One bounded wait for new arrivals; caller holds ``_cond`` and
@@ -267,7 +346,7 @@ class MessageQueue:
             self._stash.clear()
             out.extend(self._buffer)
             self._buffer.clear()
-            out.extend(self._delayed)
+            out.extend(entry[0] for entry in self._delayed)
             self._delayed.clear()
             self._cond.notify_all()
             return out

@@ -48,6 +48,7 @@ class CNServer:
         retry_backoff=None,
         queue_maxsize: int = 0,
         queue_policy: str = "block",
+        checksums: bool = False,
     ) -> None:
         self.name = name
         self.bus = bus
@@ -61,6 +62,7 @@ class CNServer:
             clock=clock,
             queue_maxsize=queue_maxsize,
             queue_policy=queue_policy,
+            checksums=checksums,
         )
         self.jobmanager = JobManager(
             f"{name}/jm",
@@ -71,6 +73,7 @@ class CNServer:
             failure_k=failure_k,
             retry_backoff=retry_backoff,
         )
+        self.jobmanager.checksums = checksums
         self._subscribed = False
         #: this node's replica of the write-ahead job journal (durability
         #: extension); None until the Cluster attaches one

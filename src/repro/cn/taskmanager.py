@@ -75,6 +75,7 @@ class TaskManager:
         clock: Optional[VirtualClock] = None,
         queue_maxsize: int = 0,
         queue_policy: str = "block",
+        checksums: bool = False,
     ) -> None:
         self.name = name
         self.memory_capacity = memory_capacity
@@ -85,6 +86,9 @@ class TaskManager:
         #: (0 = unbounded, the seed default; see MessageQueue policies)
         self.queue_maxsize = queue_maxsize
         self.queue_policy = queue_policy
+        #: verify CRC frame digests at dequeue and quarantine mismatches
+        #: as per-job dead letters (see Job.note_poison)
+        self.checksums = checksums
         #: task attempts dropped before execution because the job budget
         #: had already expired (cheaper than running doomed work)
         self.budget_drops = 0
@@ -201,6 +205,12 @@ class TaskManager:
                     _name, m
                 ),
                 chaos=self.chaos,
+                # corrupt frames are quarantined at dequeue and recorded
+                # as per-job dead letters (again after the queue lock)
+                verify_digests=self.checksums,
+                on_poison=lambda m, _job=job, _name=runtime.name: _job.note_poison(
+                    _name, m
+                ),
             )
             runtime.node_name = self.name
             runtime.state = TaskState.CREATED
@@ -636,6 +646,20 @@ class TaskManager:
                 rejected += queue.rejected
                 shed += queue.shed
         return rejected, shed
+
+    def queue_poisoned(self) -> int:
+        """Frames quarantined by digest verification across this node's
+        live hosted task queues (same point-in-time caveat as
+        :meth:`queue_overload_stats`; the durable count per job is the
+        journal's ``dead-letter`` records)."""
+        with self._lock:
+            hosted = list(self._hosted.values())
+        total = 0
+        for h in hosted:
+            queue = h.runtime.queue
+            if queue is not None:
+                total += queue.poisoned
+        return total
 
     def shutdown(self) -> None:
         with self._lock:

@@ -57,6 +57,10 @@ def sample_node(
         rejected, shed = overload()
         registry.gauge("cn_queue_rejected_total", node=node).set(rejected)
         registry.gauge("cn_queue_shed_total", node=node).set(shed)
+    poisoned = getattr(tm, "queue_poisoned", None)
+    if callable(poisoned):
+        # frames quarantined by dequeue-time digest verification
+        registry.gauge("cn_queue_poisoned_total", node=node).set(poisoned())
     drops = getattr(tm, "budget_drops", None)
     if drops is not None:
         registry.gauge("cn_budget_drops_total", node=node).set(drops)

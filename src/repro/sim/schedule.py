@@ -1,0 +1,232 @@
+"""Fault schedules: the generated input of one simulation run.
+
+A :class:`Schedule` is the complete, serializable description of the
+faults one :class:`~repro.sim.harness.Simulation` injects -- link-level
+rates (drop / delay / duplicate / reorder / corrupt, fed into
+:class:`~repro.cn.chaos.ChaosPolicy`), optional queue bounds, and a
+sorted sequence of structural :class:`FaultEvent` entries (node kills
+and revives, partitions and heals, task stalls, load bursts) pinned to
+virtual-clock ticks.
+
+:func:`generate` derives a schedule deterministically from a seed.  The
+generator is deliberately *convergence-biased*: every kill is paired
+with a revive, every partition with a heal, at most one kill and one
+partition are outstanding at a time, and the manager-side partition
+group always keeps a task-accepting node -- so the recovery machinery
+(watchdog retries, journal replay, manager adoption) can always drive
+the job to completion and a timeout is a genuine bug, not an
+over-aggressive schedule.  Schedules round-trip through plain dicts
+(:meth:`Schedule.to_dict` / :meth:`Schedule.from_dict`) so failing runs
+can be checked in as JSON reproducers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+__all__ = ["FaultEvent", "Schedule", "EVENT_KINDS", "generate"]
+
+#: every structural event kind a schedule may contain
+EVENT_KINDS = ("kill", "revive", "partition", "heal", "stall", "burst")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One structural fault pinned to a virtual-clock tick.
+
+    ``target`` names a node (kill/revive), a task (stall), or carries a
+    ``,``-joined node group for partitions (the complement group is
+    implied).  ``arg`` is kind-specific: the stall attempt, or the burst
+    size in status-query submissions.
+    """
+
+    at_tick: int
+    kind: str
+    target: str = ""
+    arg: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}; expected {EVENT_KINDS}")
+        if self.at_tick < 0:
+            raise ValueError(f"at_tick must be >= 0, got {self.at_tick}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "at_tick": self.at_tick,
+            "kind": self.kind,
+            "target": self.target,
+            "arg": self.arg,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultEvent":
+        return cls(
+            at_tick=int(data["at_tick"]),
+            kind=str(data["kind"]),
+            target=str(data.get("target", "")),
+            arg=int(data.get("arg", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """The full fault plan of one simulation run (seed + rates + events)."""
+
+    seed: int
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    queue_maxsize: int = 0
+    queue_policy: str = "block"
+    events: tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    #: rate attributes in canonical order (shrinker zeroing, summaries)
+    RATE_FIELDS = (
+        "drop_rate",
+        "delay_rate",
+        "duplicate_rate",
+        "reorder_rate",
+        "corrupt_rate",
+    )
+
+    def has_faults(self) -> bool:
+        """Whether anything could go wrong under this schedule (decides
+        if the harness arms watchdog deadlines and retry budgets)."""
+        return bool(
+            self.events
+            or any(getattr(self, name) > 0.0 for name in self.RATE_FIELDS)
+            or self.queue_maxsize
+        )
+
+    def with_events(self, events: tuple[FaultEvent, ...]) -> "Schedule":
+        return replace(self, events=tuple(events))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "rates": {name: getattr(self, name) for name in self.RATE_FIELDS},
+            "queue_maxsize": self.queue_maxsize,
+            "queue_policy": self.queue_policy,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Schedule":
+        rates = data.get("rates") or {}
+        return cls(
+            seed=int(data["seed"]),
+            queue_maxsize=int(data.get("queue_maxsize", 0)),
+            queue_policy=str(data.get("queue_policy", "block")),
+            events=tuple(
+                FaultEvent.from_dict(event) for event in data.get("events") or []
+            ),
+            **{name: float(rates.get(name, 0.0)) for name in cls.RATE_FIELDS},
+        )
+
+    def describe(self) -> str:
+        """One line for progress output: active rates + event summary."""
+        rates = ",".join(
+            f"{name.removesuffix('_rate')}={getattr(self, name):.3f}"
+            for name in self.RATE_FIELDS
+            if getattr(self, name) > 0.0
+        )
+        events = ",".join(
+            f"{event.kind}@{event.at_tick}"
+            + (f":{event.target}" if event.target else "")
+            for event in self.events
+        )
+        parts = [part for part in (rates, events) if part]
+        if self.queue_maxsize:
+            parts.append(f"queue={self.queue_policy}:{self.queue_maxsize}")
+        return "; ".join(parts) or "fault-free"
+
+
+def generate(
+    seed: int,
+    *,
+    nodes: int = 4,
+    workers: int = 3,
+    horizon: int = 60,
+) -> Schedule:
+    """Derive a fault schedule deterministically from *seed*.
+
+    Structural events land in the first *horizon* ticks (the job itself
+    typically needs far fewer); rates are kept low enough that the
+    retry/replay machinery converges, which is what makes a timeout
+    under a generated schedule a finding rather than noise.
+    """
+    rng = random.Random(f"cn-sim-schedule:{seed}")
+    rates: dict[str, float] = {}
+    # magnitudes are deliberately small: a lost or held-back message
+    # wedges its consumer until the deadline watchdog retries the task,
+    # and the attempt replay re-rolls a fate for every ledgered message
+    # -- at high rates every replay re-wedges and the job burns its
+    # whole retry budget unwedging instead of computing
+    if rng.random() < 0.45:
+        rates["drop_rate"] = round(rng.uniform(0.002, 0.012), 4)
+    if rng.random() < 0.45:
+        rates["delay_rate"] = round(rng.uniform(0.005, 0.03), 4)
+    if rng.random() < 0.5:
+        rates["duplicate_rate"] = round(rng.uniform(0.02, 0.10), 4)
+    if rng.random() < 0.5:
+        rates["reorder_rate"] = round(rng.uniform(0.01, 0.05), 4)
+    if rng.random() < 0.45:
+        rates["corrupt_rate"] = round(rng.uniform(0.01, 0.04), 4)
+
+    queue_maxsize, queue_policy = 0, "block"
+    if rng.random() < 0.25:
+        # bounded queues under shed_oldest exercise shed-then-replay;
+        # capacity stays above the init+rows working set so a shed is a
+        # pressure event, not a guaranteed livelock
+        queue_maxsize, queue_policy = rng.randint(10, 16), "shed_oldest"
+
+    node_names = [f"node{i}" for i in range(nodes)]
+    worker_nodes = node_names[1:]
+    events: list[FaultEvent] = []
+
+    # kill/revive cycles: at most one node down at a time, always revived
+    cursor = rng.randint(2, 6)
+    for _ in range(rng.randint(0, 2)):
+        if cursor >= horizon - 10:
+            break
+        # the manager node is a rarer victim: killing it exercises
+        # journal-replay adoption, the workers exercise re-placement
+        victim = (
+            node_names[0] if rng.random() < 0.25 else rng.choice(worker_nodes)
+        )
+        down = rng.randint(3, 8)
+        events.append(FaultEvent(cursor, "kill", victim))
+        events.append(FaultEvent(cursor + down, "revive", victim))
+        cursor += down + rng.randint(3, 6)
+
+    # one optional partition/heal cycle; the manager-side group keeps at
+    # least one task-accepting node so re-placement stays possible
+    if rng.random() < 0.5:
+        at = rng.randint(2, horizon // 2)
+        keep = rng.randint(1, len(worker_nodes) - 1)
+        manager_side = [node_names[0]] + rng.sample(worker_nodes, keep)
+        events.append(FaultEvent(at, "partition", ",".join(sorted(manager_side))))
+        events.append(FaultEvent(at + rng.randint(2, 5), "heal"))
+
+    if rng.random() < 0.4:
+        events.append(
+            FaultEvent(0, "stall", f"w{rng.randrange(workers)}", arg=1)
+        )
+    if rng.random() < 0.3:
+        events.append(
+            FaultEvent(rng.randint(1, horizon // 2), "burst", arg=rng.randint(3, 8))
+        )
+
+    events.sort(key=lambda event: (event.at_tick, event.kind, event.target))
+    return Schedule(
+        seed=seed,
+        queue_maxsize=queue_maxsize,
+        queue_policy=queue_policy,
+        events=tuple(events),
+        **rates,
+    )

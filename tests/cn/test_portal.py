@@ -92,6 +92,7 @@ class TestPortalService:
             "diagnostics",
             "faults",
             "failovers",
+            "dead-letters",
             "timeline",
             "telemetry.jsonl",
         }
@@ -101,6 +102,7 @@ class TestPortalService:
         assert json.loads(artifacts["diagnostics"]) == []
         assert json.loads(artifacts["faults"]) == []
         assert json.loads(artifacts["failovers"]) == []
+        assert json.loads(artifacts["dead-letters"]) == []
 
 
 class TestPortalAdmission:

@@ -1,0 +1,99 @@
+"""Mutation testing the oracles: a deliberately broken join must be
+caught, and the failing schedule must shrink to a tiny reproducer.
+
+If the oracles cannot see a seeded bug, fuzzing is theater.  BuggyJoin
+re-introduces the classic at-least-once hazard the real TCJoin guards
+against: it counts *messages* instead of deduping by sender, so a
+duplicated result delivery double-counts a block.  Under a schedule
+that duplicates every delivery, the assembled matrix has the wrong
+shape and the exactly-once oracle must fire -- while the real TCJoin
+stays green under the identical schedule.
+"""
+
+import numpy as np
+
+from repro.apps.floyd import floyd_registry
+from repro.apps.floyd.model import JOIN_CLASS, JOIN_JAR
+from repro.cn.task import Task
+from repro.sim import FaultEvent, Schedule, Simulation, run_oracles, shrink_schedule
+
+
+class BuggyJoin(Task):
+    """TCJoin minus the (sender, epoch) dedup: trusts delivery counts."""
+
+    def __init__(self, sink: str = "") -> None:
+        pass
+
+    def run(self, ctx):
+        expected = len(ctx.my_dependencies())
+        got = []
+        while len(got) < expected:
+            message = ctx.recv_matching(
+                lambda m: m.is_user() and m.payload[0] == "result", timeout=60.0
+            )
+            got.append((message.payload[1], np.array(message.payload[2], dtype=float)))
+        pieces = [block for _start, block in sorted(got, key=lambda e: e[0])]
+        pieces = [block for block in pieces if block.size]
+        result = np.vstack(pieces) if pieces else np.zeros((0, 0))
+        return [list(map(float, row)) for row in result]
+
+
+def buggy_registry():
+    registry = floyd_registry()
+    registry.register_class(JOIN_JAR, JOIN_CLASS, BuggyJoin)
+    return registry
+
+
+# duplicate_rate=1.0 retransmits every delivery (deterministically: a
+# rate >= 1 bypasses the RNG); the benign events are shrinker chaff
+DUPLICATING = Schedule(
+    seed=101,
+    duplicate_rate=1.0,
+    events=(
+        FaultEvent(1, "burst", arg=2),
+        FaultEvent(2, "kill", "node2"),
+        FaultEvent(6, "revive", "node2"),
+        FaultEvent(10, "burst", arg=3),
+    ),
+)
+
+
+def run_sim(schedule, registry_factory=None):
+    sim = Simulation(
+        schedule.seed,
+        schedule,
+        n=6,
+        workers=2,
+        nodes=3,
+        max_ticks=300,
+        registry_factory=registry_factory,
+    )
+    return sim.run()
+
+
+class TestSeededDedupBug:
+    def test_exactly_once_oracle_catches_the_mutant(self):
+        result = run_sim(DUPLICATING, registry_factory=buggy_registry)
+        findings = run_oracles(result)
+        assert "exactly-once-result" in findings, (result.status, findings)
+
+    def test_real_join_survives_the_same_schedule(self):
+        result = run_sim(DUPLICATING)
+        assert result.status == "done", result.error
+        assert run_oracles(result) == {}
+
+    def test_failure_shrinks_to_a_tiny_schedule(self):
+        def still_fails(schedule):
+            findings = run_oracles(
+                run_sim(schedule, registry_factory=buggy_registry),
+                only=["exactly-once-result"],
+            )
+            return bool(findings)
+
+        shrunk, probes = shrink_schedule(DUPLICATING, still_fails, max_probes=20)
+        # the dedup bug needs only the duplication rate: every structural
+        # event is chaff and must be gone (acceptance bound is <= 6)
+        assert len(shrunk.events) <= 6
+        assert shrunk.events == ()
+        assert shrunk.duplicate_rate == 1.0
+        assert probes <= 20

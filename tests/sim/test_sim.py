@@ -1,0 +1,62 @@
+"""End-to-end simulation harness tests: one real cluster per run."""
+
+from repro.sim import (
+    Schedule,
+    Simulation,
+    emit_reproducer,
+    generate,
+    load_reproducer,
+    run_oracles,
+)
+
+
+class TestFaultFreeRun:
+    def test_completes_green_without_watchdogs(self):
+        sim = Simulation(0, Schedule(seed=0), n=6, workers=2, nodes=3)
+        result = sim.run()
+        assert result.status == "done"
+        assert run_oracles(result) == {}
+        # fault-free runs must not arm deadlines or budgets: a loaded
+        # host machine cannot fail a benign schedule
+        assert result.job_deadline is None
+        assert result.fault_summary == []
+        assert result.schedule.has_faults() is False
+        assert result.records  # the journal survived for the oracles
+
+
+class TestGeneratedScheduleRun:
+    def test_seeded_faulty_run_converges_green(self):
+        # seed 2's generated schedule carries rates and structural events
+        schedule = generate(2)
+        assert schedule.has_faults()
+        sim = Simulation(2, schedule, n=6, workers=2, nodes=4)
+        result = sim.run()
+        assert result.status == "done", result.error
+        assert run_oracles(result) == {}
+        assert result.job_deadline is not None  # hazards arm the budget
+
+
+class TestReproducerFiles:
+    def test_emit_load_round_trip(self, tmp_path):
+        schedule = generate(11)
+        path = emit_reproducer(
+            tmp_path,
+            schedule,
+            {"job-completes": ["did not finish"]},
+            n=6,
+            workers=2,
+            nodes=3,
+            note="unit-test",
+        )
+        assert path.name.startswith("seed11-")
+        data = load_reproducer(path)
+        assert data["schedule"] == schedule
+        assert data["n"] == 6 and data["workers"] == 2 and data["nodes"] == 3
+        assert data["violations"] == {"job-completes": ["did not finish"]}
+
+    def test_same_schedule_overwrites(self, tmp_path):
+        schedule = generate(11)
+        first = emit_reproducer(tmp_path, schedule, {})
+        second = emit_reproducer(tmp_path, schedule, {})
+        assert first == second
+        assert len(list(tmp_path.glob("*.json"))) == 1
