@@ -19,6 +19,7 @@ CC303  warning   ``ShutdownError`` swallowed (handler body is ``pass``)
 CC401  warning   unpicklable payload (lambda) handed to a message call
 CC402  warning   private attribute reached across the node/bus interface
 CC403  warning   fan-out payload mutated after being shared by reference
+CC404  warning   payload crossing ``Endpoint.send`` the codec cannot serialize
 ====== ========= ===========================================================
 
 Lock knowledge is *syntactic*: a class's lock attributes are the ones
@@ -62,6 +63,7 @@ CC_CODES: dict[str, str] = {
     "CC401": "unpicklable payload in message call",
     "CC402": "private attribute access across the node/bus interface",
     "CC403": "fan-out payload mutated after sharing by reference",
+    "CC404": "unserializable payload crossing an endpoint send",
 }
 
 _ERROR_CODES = {"CC001", "CC103", "CC301"}
@@ -81,6 +83,13 @@ _BLOCKING: dict[str, tuple[str, tuple[str, ...]]] = {
 
 _FAN_OUT_CALLS = {"route_many", "multicast", "send_many", "broadcast"}
 _MESSAGE_CALLS = {"put", "publish", "send", "route", "route_many", "send_many", "Message"}
+
+# CC404: constructions the wire codec (pickle protocol 5) cannot
+# serialize when they appear inside a payload handed to Endpoint.send.
+_UNPICKLABLE_CTORS = {
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+    "Event", "Barrier", "Thread", "open", "socket", "socketpair",
+}
 _MUTATING_METHODS = {
     "append", "extend", "insert", "add", "update", "pop", "remove",
     "discard", "clear", "setdefault", "popitem", "sort", "reverse",
@@ -336,6 +345,8 @@ class _FileAnalysis:
                             hint="pass a registry task name or a module-level "
                             "callable instead",
                         )
+            if callee_name == "send" and self._endpoint_receiver(callee):
+                self._check_endpoint_payload(node, func.name)
             if callee_name in _FAN_OUT_CALLS and self.in_cn:
                 for arg in node.args:
                     if isinstance(arg, ast.Name):
@@ -368,6 +379,52 @@ class _FileAnalysis:
                     node.lineno, f"?.{func.name}", target_name,
                     hint="treat fanned-out payloads as frozen (copy before mutating)",
                 )
+
+    @staticmethod
+    def _endpoint_receiver(callee: ast.expr) -> bool:
+        """True when ``<recv>.send(...)`` targets a transport endpoint:
+        the receiver expression names an endpoint (``self.endpoint``,
+        ``worker._endpoint``, ...) or is the conventional ``ep`` local."""
+        if not isinstance(callee, ast.Attribute):
+            return False
+        receiver = _receiver_text(callee.value).lower()
+        if "endpoint" in receiver:
+            return True
+        leaf = receiver.rsplit(".", 1)[-1]
+        return leaf in {"ep", "_ep"}
+
+    def _check_endpoint_payload(self, call: ast.Call, scope: str) -> None:
+        """CC404: anything inside an Endpoint.send payload the frame
+        codec (pickle protocol 5) cannot serialize.  Top-level lambdas
+        are CC401's finding; this pass catches nested lambdas, generator
+        expressions, and live runtime handles (locks, threads, files,
+        sockets) constructed inside the payload."""
+        receiver = _receiver_text(call.func.value)  # type: ignore[attr-defined]
+        for arg in list(call.args) + [k.value for k in call.keywords]:
+            for sub in ast.walk(arg):
+                what: Optional[str] = None
+                token = ""
+                if isinstance(sub, ast.GeneratorExp):
+                    what, token = "a generator expression", "genexp"
+                elif isinstance(sub, ast.Lambda) and sub is not arg:
+                    what, token = "a lambda", "lambda"
+                elif isinstance(sub, ast.Call):
+                    ctor = sub.func
+                    name = ctor.attr if isinstance(ctor, ast.Attribute) else (
+                        ctor.id if isinstance(ctor, ast.Name) else ""
+                    )
+                    if name in _UNPICKLABLE_CTORS:
+                        what, token = f"a live {name}() handle", name
+                if what is not None:
+                    self._emit(
+                        "CC404",
+                        f"payload handed to {receiver}.send() contains {what} "
+                        "the frame codec cannot serialize",
+                        sub.lineno, f"?.{scope}", f"send:{token}",
+                        hint="ship plain data (lists, dicts, arrays, bytes); "
+                        "materialize generators and keep runtime handles on "
+                        "the owning side of the wire",
+                    )
 
     def _private_access(self, tree: ast.Module) -> None:
         func_of: dict[int, str] = {}

@@ -9,6 +9,13 @@ Tests and benchmarks want to avoid disk, so a parameter value of the
 form ``store:<key>`` resolves against the process-wide
 :class:`MatrixStore` instead -- the descriptor stays exactly the same
 shape, only the "file name" differs.
+
+Under the proc transport the store spans two processes: the
+coordinator stages matrices before the job runs, then the worker forks.
+Keys staged *after* the fork miss the worker's copy-on-write snapshot,
+so :meth:`MatrixStore.get` falls back to the transport's blob channel
+(``fetch_blob("matrix", key)``) and caches the answer; the
+coordinator side of that channel is the resolver registered below.
 """
 
 from __future__ import annotations
@@ -17,6 +24,8 @@ import math
 import threading
 from pathlib import Path
 from typing import Sequence, Union
+
+from repro.cn.transport import fetch_blob, register_blob_resolver, register_fork_reset
 
 __all__ = ["read_matrix", "write_matrix", "MatrixStore", "resolve_matrix", "store_matrix"]
 
@@ -72,10 +81,20 @@ class MatrixStore:
 
     def get(self, key: str) -> Matrix:
         with self._lock:
-            try:
-                return [row[:] for row in self._data[key]]
-            except KeyError:
-                raise KeyError(f"no matrix stored under {key!r}") from None
+            rows = self._data.get(key)
+            if rows is not None:
+                return [row[:] for row in rows]
+        # Proc-transport fallback: a worker forked before this key was
+        # staged asks the coordinator over the blob channel and caches
+        # the result (fetch_blob raises KeyError outside a worker).
+        try:
+            fetched = fetch_blob("matrix", key)
+        except KeyError:
+            raise KeyError(f"no matrix stored under {key!r}") from None
+        matrix = [list(map(float, row)) for row in fetched]
+        with self._lock:
+            self._data.setdefault(key, matrix)
+        return [row[:] for row in matrix]
 
     def pop(self, key: str) -> Matrix:
         with self._lock:
@@ -96,3 +115,28 @@ def resolve_matrix(source: str) -> Matrix:
     if source.startswith("store:"):
         return MatrixStore.instance().get(source[len("store:") :])
     return read_matrix(source)
+
+
+def _serve_matrix_blob(key: str) -> Matrix:
+    """Coordinator side of the worker blob channel: answer
+    ``fetch_blob("matrix", key)`` RPCs from the staged store (KeyError
+    propagates back to the worker as the cache-miss signal)."""
+    store = MatrixStore.instance()
+    with store._lock:  # conclint: waive CC402 -- resolver is store-private by design, runs in the transport demux thread
+        rows = store._data.get(key)
+    if rows is None:
+        raise KeyError(key)
+    return [row[:] for row in rows]
+
+
+def _reset_store_locks() -> None:
+    """Fork hook: the worker may have forked while another coordinator
+    thread held a store lock; replace both with fresh unlocked ones."""
+    MatrixStore._instance_lock = threading.Lock()
+    instance = MatrixStore._instance
+    if instance is not None:
+        instance._lock = threading.Lock()  # conclint: waive CC402 -- post-fork re-arm, single-threaded at this point
+
+
+register_blob_resolver("matrix", _serve_matrix_blob)
+register_fork_reset(_reset_store_locks)

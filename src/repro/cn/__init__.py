@@ -30,6 +30,9 @@ from .errors import (
     ArchiveError,
     BudgetExhausted,
     CnError,
+    ConfigError,
+    FrameCorrupt,
+    FrameTruncated,
     JobError,
     JobTimeoutError,
     JournalError,
@@ -37,10 +40,13 @@ from .errors import (
     NoWillingJobManager,
     NoWillingTaskManager,
     Overloaded,
+    RemoteTaskError,
     ShutdownError,
     TaskFailedError,
     TaskLoadError,
+    TransportError,
     UnknownTaskError,
+    WorkerLost,
 )
 from .job import Job, TaskRuntime, TaskSpec, TaskState
 from .jobmanager import FailureDetector, JobManager
@@ -116,6 +122,12 @@ __all__ = [
     "ShutdownError",
     "Overloaded",
     "BudgetExhausted",
+    "ConfigError",
+    "TransportError",
+    "FrameCorrupt",
+    "FrameTruncated",
+    "WorkerLost",
+    "RemoteTaskError",
     "AdmissionController",
     "AdmissionDecision",
     "TokenBucket",

@@ -34,6 +34,8 @@ from ..analysis.conc.runtime import (
     uninstall_verifier,
 )
 from .chaos import ChaosPolicy, ExponentialBackoff, VirtualClock
+from .errors import ConfigError
+from .transport import Transport, create_transport, transport_from_env
 from .durability import (
     JobDirectory,
     MemoryJournal,
@@ -76,6 +78,8 @@ class Cluster(AbstractContextManager):
         queue_maxsize: int = 0,
         queue_policy: str = "block",
         checksums: bool = False,
+        transport: "str | Transport | None" = None,
+        transport_options: Optional[dict] = None,
     ) -> None:
         if nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -86,6 +90,38 @@ class Cluster(AbstractContextManager):
         #: inside Job/MessageQueue constructors come out instrumented.
         if verify_locking is None:
             verify_locking = os.environ.get("CN_VERIFY_LOCKING", "") not in ("", "0")
+        #: execution backend selection (transport subsystem).  An explicit
+        #: name/instance is authoritative; None defers to CN_TRANSPORT so
+        #: whole suites can be re-run against the proc backend, in which
+        #: case clusters using in-process-only features (chaos, a caller
+        #: clock, the lock verifier) quietly keep the inproc backend
+        #: instead of refusing to construct.
+        env_selected = transport is None
+        if transport is None:
+            transport = transport_from_env()
+        incompatible = []
+        if chaos is not None:
+            incompatible.append("chaos fault injection (ChaosPolicy)")
+        if clock is not None:
+            incompatible.append("a caller-driven VirtualClock")
+        if verify_locking:
+            incompatible.append("the runtime lock verifier (verify_locking)")
+        transport_name = transport if isinstance(transport, str) else transport.name
+        if transport_name != "inproc" and incompatible:
+            if env_selected:
+                transport = "inproc"
+            else:
+                raise ConfigError(
+                    f"the {transport_name!r} transport executes tasks in "
+                    "worker processes and cannot honor in-process-only "
+                    f"features: {', '.join(incompatible)}. Use the default "
+                    "inproc transport for fault injection, virtual time, "
+                    "and lock verification."
+                )
+        if isinstance(transport, str):
+            transport = create_transport(transport, **(transport_options or {}))
+        self.transport: Transport = transport
+        self.transport.bind_cluster(self)
         self.lock_verifier: Optional[LockVerifier] = (
             install_verifier() if verify_locking else None
         )
@@ -122,6 +158,7 @@ class Cluster(AbstractContextManager):
                 queue_maxsize=queue_maxsize,
                 queue_policy=queue_policy,
                 checksums=checksums,
+                transport=self.transport,
             )
             for name in names
         ]
@@ -171,6 +208,7 @@ class Cluster(AbstractContextManager):
     def start(self) -> "Cluster":
         if self._started:
             return self
+        self.transport.start()  # proc workers still fork lazily per node
         for server in self.servers:
             server.start()
         # flat subnet: every JobManager may upload to every TaskManager
@@ -182,6 +220,7 @@ class Cluster(AbstractContextManager):
 
     def shutdown(self) -> None:
         self.stop_heartbeats()
+        self.transport.stop()
         for server in self.servers:
             server.shutdown()
             journal = server.journal
@@ -296,6 +335,22 @@ class Cluster(AbstractContextManager):
                 # per-node gauges (free memory/slots, hosted tasks, queue
                 # backpressure, heartbeat lag) refresh once per period
                 sample_cluster(t.metrics, self)
+                for node, wire in self.transport.stats().items():
+                    # per-node wire gauges, namespaced by node id so the
+                    # proc backend's workers never collide on a series
+                    scoped = t.metrics.namespaced(node)
+                    scoped.gauge("cn_transport_frames_sent").set(
+                        wire.get("frames_sent", 0)
+                    )
+                    scoped.gauge("cn_transport_frames_received").set(
+                        wire.get("frames_received", 0)
+                    )
+                    scoped.gauge("cn_transport_bytes_sent").set(
+                        wire.get("bytes_sent", 0)
+                    )
+                    scoped.gauge("cn_transport_bytes_received").set(
+                        wire.get("bytes_received", 0)
+                    )
 
     def start_heartbeats(self, interval: float = 0.05) -> None:
         """Run :meth:`tick` on a daemon thread every *interval* wall-clock

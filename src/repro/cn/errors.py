@@ -17,6 +17,12 @@ __all__ = [
     "JournalError",
     "Overloaded",
     "BudgetExhausted",
+    "ConfigError",
+    "TransportError",
+    "FrameCorrupt",
+    "FrameTruncated",
+    "WorkerLost",
+    "RemoteTaskError",
 ]
 
 
@@ -113,6 +119,41 @@ class Overloaded(CnError):
         super().__init__(
             f"{owner!r} is overloaded ({depth}/{maxsize} queued)"
             + (f"; retry after {retry_after:g}s" if retry_after is not None else "")
+        )
+
+
+class ConfigError(CnError):
+    """Mutually incompatible cluster options were combined (e.g. chaos
+    injection with the multi-process execution backend)."""
+
+
+class TransportError(CnError):
+    """An execution-backend transport failed (socket, framing, worker)."""
+
+
+class FrameCorrupt(TransportError):
+    """A wire frame failed its CRC32 integrity check."""
+
+
+class FrameTruncated(TransportError):
+    """The stream ended mid-frame (peer died or the frame was cut)."""
+
+
+class WorkerLost(TransportError):
+    """A worker process died while executions were outstanding."""
+
+
+class RemoteTaskError(CnError):
+    """A task raised inside a worker process; carries the remote
+    traceback text so the retry/failure paths report the real cause."""
+
+    def __init__(self, task_name: str, kind: str, remote_traceback: str) -> None:
+        self.task_name = task_name
+        self.kind = kind
+        self.remote_traceback = remote_traceback
+        super().__init__(
+            f"task {task_name!r} raised {kind} in its worker process:\n"
+            f"{remote_traceback}"
         )
 
 

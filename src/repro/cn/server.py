@@ -24,6 +24,7 @@ from .multicast import MulticastBus, Solicitation
 from .registry import TaskRegistry
 from .runmodel import RunModel
 from .taskmanager import TaskManager
+from .transport.base import Transport
 
 __all__ = ["CNServer"]
 
@@ -49,6 +50,7 @@ class CNServer:
         queue_maxsize: int = 0,
         queue_policy: str = "block",
         checksums: bool = False,
+        transport: Optional[Transport] = None,
     ) -> None:
         self.name = name
         self.bus = bus
@@ -64,6 +66,11 @@ class CNServer:
             queue_policy=queue_policy,
             checksums=checksums,
         )
+        #: this node's execution backend; the TaskManager runs every
+        #: attempt through the executor the transport hands it
+        self.transport = transport
+        if transport is not None:
+            self.taskmanager.executor = transport.executor_for(self.taskmanager)
         self.jobmanager = JobManager(
             f"{name}/jm",
             bus,

@@ -35,6 +35,8 @@ from .messages import Message, MessageType
 from .queues import MessageQueue
 from .runmodel import RunModel
 from .task import Task, TaskContext
+from .transport.base import TaskExecutor
+from .transport.inproc import InlineExecutor
 
 __all__ = ["TaskManager", "HostedTask"]
 
@@ -76,8 +78,15 @@ class TaskManager:
         queue_maxsize: int = 0,
         queue_policy: str = "block",
         checksums: bool = False,
+        executor: Optional[TaskExecutor] = None,
     ) -> None:
         self.name = name
+        #: the execution backend seam: attempts run through this instead
+        #: of an implicit inline call (transport subsystem); the default
+        #: preserves the historical in-process semantics exactly
+        self.executor: TaskExecutor = (
+            executor if executor is not None else InlineExecutor()
+        )
         self.memory_capacity = memory_capacity
         self.slots = slots
         self.chaos = chaos
@@ -126,6 +135,8 @@ class TaskManager:
         with self._lock:
             if self._shutdown or self._crashed:
                 return False
+            if not self.executor.healthy():
+                return False  # execution substrate (worker process) died
             if memory > self.memory_capacity - self._memory_used:
                 return False
             if runmodel.occupies_slot and self._slots_used >= self.slots:
@@ -138,6 +149,10 @@ class TaskManager:
         or shut-down node is silent."""
         with self._lock:
             if self._crashed or self._shutdown:
+                return None
+            if not self.executor.healthy():
+                # a dead worker process silences the node: the ordinary
+                # failure detector declares it and recovery re-places work
                 return None
             self._beats += 1
             return {
@@ -354,10 +369,11 @@ class TaskManager:
                     raise ShutdownError(
                         f"chaos-stalled task {runtime.name!r} cancelled"
                     )
-            instance = self._instantiate(hosted.task_class, runtime)
-            # conclint: waive CC402 -- task instance and context live on this node
-            instance._ctx = context  # enables Task.checkpoint/restore
-            result = instance.run(context)
+            # the execution-backend seam: inline for inproc (identical to
+            # the historical instantiate-and-run), shipped to the node's
+            # worker process for proc -- either way the call returns the
+            # result or raises exactly what instance.run(context) raised
+            result = self.executor.execute(self, hosted, context)
         except BudgetExhausted as exc:
             # the end-to-end job budget is already spent: executing (or
             # retrying -- equally doomed) would burn the resources a

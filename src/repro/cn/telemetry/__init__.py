@@ -45,6 +45,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    NodeScopedMetrics,
     NullMetric,
 )
 from .samplers import sample_cluster, sample_node
@@ -53,6 +54,7 @@ from .spans import Span, SpanRecorder, orphan_spans, span_children
 __all__ = [
     "Telemetry",
     "MetricsRegistry",
+    "NodeScopedMetrics",
     "Counter",
     "Gauge",
     "Histogram",

@@ -31,6 +31,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NodeScopedMetrics",
     "NullMetric",
     "NULL_COUNTER",
     "NULL_GAUGE",
@@ -330,6 +331,51 @@ class MetricsRegistry:
                 }
             )
         return out
+
+    def namespaced(self, node: str) -> "NodeScopedMetrics":
+        """A view of this registry that stamps ``node=<id>`` on every
+        metric it hands out.  This is how per-node series stay distinct
+        in the one coordinator registry: samplers use it for node
+        gauges, and the proc backend merges worker-forwarded counters
+        through it so two workers incrementing the same counter name
+        can never collide on a label set."""
+        return NodeScopedMetrics(self, node)
+
+
+class NodeScopedMetrics:
+    """A :class:`MetricsRegistry` facade scoped to one node id.
+
+    Every ``counter``/``gauge``/``histogram`` call adds ``node=<id>``
+    unless the caller already pinned an explicit ``node`` label (an
+    explicit label wins; the scope is a default, not a rewrite).
+    """
+
+    __slots__ = ("_registry", "_node")
+
+    def __init__(self, registry: MetricsRegistry, node: str) -> None:
+        self._registry = registry
+        self._node = node
+
+    @property
+    def node(self) -> str:
+        return self._node
+
+    def _scoped(self, labels: dict[str, Any]) -> dict[str, Any]:
+        labels.setdefault("node", self._node)
+        return labels
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._registry.counter(name, **self._scoped(labels))
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._registry.gauge(name, **self._scoped(labels))
+
+    def histogram(
+        self, name: str, *, buckets: Sequence[float] = DURATION_BUCKETS, **labels: Any
+    ) -> Histogram:
+        return self._registry.histogram(
+            name, buckets=buckets, **self._scoped(labels)
+        )
 
 
 def merge_label_sets(metrics: Iterable[Any]) -> dict[str, list[Any]]:

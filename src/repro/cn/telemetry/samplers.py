@@ -36,34 +36,39 @@ __all__ = ["sample_cluster", "sample_node"]
 def sample_node(
     registry: MetricsRegistry, server: Any, *, alive: bool = True
 ) -> None:
-    """Refresh one node's gauges from its TaskManager state."""
-    node = server.name
-    registry.gauge("cn_node_alive", node=node).set(1.0 if alive else 0.0)
+    """Refresh one node's gauges from its TaskManager state.
+
+    All series go through the registry's node-scoped view, the single
+    namespacing point that keeps per-node families from colliding (the
+    proc backend merges worker-forwarded counters through the same
+    view)."""
+    scoped = registry.namespaced(server.name)
+    scoped.gauge("cn_node_alive").set(1.0 if alive else 0.0)
     tm = getattr(server, "taskmanager", None)
     if tm is None:
         return
-    registry.gauge("cn_node_free_memory", node=node).set(tm.free_memory)
-    registry.gauge("cn_node_free_slots", node=node).set(tm.free_slots)
+    scoped.gauge("cn_node_free_memory").set(tm.free_memory)
+    scoped.gauge("cn_node_free_slots").set(tm.free_slots)
     hosted = getattr(tm, "hosted_count", None)
     if callable(hosted):
-        registry.gauge("cn_node_hosted_tasks", node=node).set(hosted())
+        scoped.gauge("cn_node_hosted_tasks").set(hosted())
     queued = getattr(tm, "queued_messages", None)
     if callable(queued):
-        registry.gauge("cn_node_queued_messages", node=node).set(queued())
+        scoped.gauge("cn_node_queued_messages").set(queued())
     overload = getattr(tm, "queue_overload_stats", None)
     if callable(overload):
         # backpressure outcomes across the node's hosted queues: how many
         # puts were refused (reject policy) or evicted (shed_oldest)
         rejected, shed = overload()
-        registry.gauge("cn_queue_rejected_total", node=node).set(rejected)
-        registry.gauge("cn_queue_shed_total", node=node).set(shed)
+        scoped.gauge("cn_queue_rejected_total").set(rejected)
+        scoped.gauge("cn_queue_shed_total").set(shed)
     poisoned = getattr(tm, "queue_poisoned", None)
     if callable(poisoned):
         # frames quarantined by dequeue-time digest verification
-        registry.gauge("cn_queue_poisoned_total", node=node).set(poisoned())
+        scoped.gauge("cn_queue_poisoned_total").set(poisoned())
     drops = getattr(tm, "budget_drops", None)
     if drops is not None:
-        registry.gauge("cn_budget_drops_total", node=node).set(drops)
+        scoped.gauge("cn_budget_drops_total").set(drops)
 
 
 def sample_cluster(registry: MetricsRegistry, cluster: Any) -> None:

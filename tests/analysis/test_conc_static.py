@@ -67,6 +67,7 @@ class TestParseAndWaivers:
         assert set(CC_CODES) >= {
             "CC001", "CC002", "CC101", "CC102", "CC103", "CC201", "CC202",
             "CC203", "CC301", "CC302", "CC303", "CC401", "CC402", "CC403",
+            "CC404",
         }
 
 
@@ -374,6 +375,62 @@ class TestTransportReadiness:
             """
         )
         assert "CC403" not in codes(diags)
+
+    def test_cc404_generator_in_endpoint_payload(self):
+        diags = run(
+            """
+            def ship(endpoint, rows):
+                endpoint.send(("exec", {"data": (r * 2 for r in rows)}))
+            """
+        )
+        assert "CC404" in codes(diags)
+
+    def test_cc404_live_lock_in_endpoint_payload(self):
+        diags = run(
+            """
+            import threading
+
+            def ship(self):
+                self.endpoint.send({"guard": threading.Lock()})
+            """
+        )
+        assert "CC404" in codes(diags)
+
+    def test_cc404_nested_lambda_in_endpoint_payload(self):
+        diags = run(
+            """
+            def ship(ep):
+                ep.send(("msg", {"fn": lambda x: x}))
+            """
+        )
+        assert "CC404" in codes(diags)
+
+    def test_cc404_plain_data_is_fine(self):
+        diags = run(
+            """
+            def ship(endpoint, block):
+                endpoint.send(("outcome", {"ok": True, "rows": list(block)}))
+            """
+        )
+        assert "CC404" not in codes(diags)
+
+    def test_cc404_non_endpoint_send_not_flagged(self):
+        diags = run(
+            """
+            def ship(ctx, rows):
+                ctx.send("join", (r * 2 for r in rows))
+            """
+        )
+        assert "CC404" not in codes(diags)
+
+    def test_cc404_waivable(self):
+        diags = run(
+            """
+            def ship(endpoint, rows):
+                endpoint.send((r for r in rows))  # conclint: waive CC404 -- test double consumes it in-process
+            """
+        )
+        assert "CC404" not in codes(diags)
 
 
 class TestDiagnosticModel:
