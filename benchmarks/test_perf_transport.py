@@ -101,13 +101,30 @@ def _structure(backend: str, cluster) -> dict:
         assert len(set(pids.values())) == len(pids), "nodes shared a worker"
         stats = cluster.transport.stats()
         assert any(s["frames_sent"] > 0 for s in stats.values())
+        # worker-side telemetry coalescing: metric/event frames merged
+        # into batch frames instead of crossing the wire one by one
+        coalesced = 0
+        telemetry = cluster.telemetry
+        if telemetry is not None and telemetry.enabled:
+            for node in pids:
+                coalesced += int(
+                    telemetry.metrics.counter(
+                        "cn_transport_frames_coalesced_total", node=node
+                    ).value
+                )
         return {
             "worker_pids": sorted(pids.values()),
             "frames_sent": sum(s["frames_sent"] for s in stats.values()),
             "bytes_sent": sum(s["bytes_sent"] for s in stats.values()),
+            "frames_coalesced": coalesced,
         }
     assert cluster.transport.stats() == {}
-    return {"worker_pids": [], "frames_sent": 0, "bytes_sent": 0}
+    return {
+        "worker_pids": [],
+        "frames_sent": 0,
+        "bytes_sent": 0,
+        "frames_coalesced": 0,
+    }
 
 
 def test_perf15_proc_backend_scaling(report, out_dir):
@@ -162,6 +179,13 @@ def test_perf15_proc_backend_scaling(report, out_dir):
     report.line(
         f"proc worker pids: {structures['proc']['worker_pids']} "
         f"(coordinator {os.getpid()})"
+    )
+    frames = structures["proc"]["frames_sent"]
+    coalesced = structures["proc"]["frames_coalesced"]
+    report.line(
+        f"telemetry coalescing: {frames} frames on the wire vs "
+        f"{frames + coalesced} without worker-side batching "
+        f"({coalesced} metric/event frames merged)"
     )
 
     (out_dir / "BENCH_transport.json").write_text(

@@ -62,6 +62,12 @@ GUARDED_BY: dict[str, str] = {
     "FileJournal._entries": "FileJournal._lock",
     # TaskManager slot accounting.
     "TaskManager._running": "TaskManager._lock",
+    # Bid scheduler state: the archive-locality cache mutates with the
+    # hosting tables; rule sequence numbers under the manager lock.
+    "TaskManager._archive_cache": "TaskManager._lock",
+    "JobManager._rule_counter": "JobManager._lock",
+    # ProcTransport worker-side telemetry coalescing buffer.
+    "WorkerRuntime._frame_buffer": "WorkerRuntime._lock",
     # MulticastBus subscriber table.
     "MulticastBus._subscribers": "MulticastBus._lock",
     # AdmissionController: per-tenant token buckets, in-flight quotas,

@@ -55,6 +55,7 @@ from .multicast import MulticastBus, Solicitation
 from .queues import MessageQueue
 from .registry import TaskRegistry
 from .runmodel import RunModel
+from .scheduler import Bid, PlacementRule, award_bids
 from .server import CNServer
 from .task import FunctionTask, Task, TaskContext
 from .telemetry import (
@@ -102,6 +103,9 @@ __all__ = [
     "MessageQueue",
     "MulticastBus",
     "Solicitation",
+    "PlacementRule",
+    "Bid",
+    "award_bids",
     "TupleSpace",
     "matches",
     "RunModel",

@@ -155,6 +155,12 @@ class CNAPI:
     def create_task(self, handle: JobHandle, spec: TaskSpec) -> None:
         handle.manager.create_task(handle.job, spec)
 
+    def create_tasks(self, handle: JobHandle, specs) -> None:
+        """Create a batch of tasks in one call.  Under the bid scheduler
+        tasks sharing a template are placed through a single
+        rule/bid/award round instead of one solicitation each."""
+        handle.manager.create_tasks(handle.job, list(specs))
+
     # -- 4. starting ------------------------------------------------------------------
     def start_task(self, handle: JobHandle, name: str) -> None:
         handle.manager.start_task(handle.job, name)

@@ -378,6 +378,8 @@ class ClientRunner:
                     payload=event,
                 )
             )
-        for spec in specs:
-            self.api.create_task(handle, spec)
+        # batch creation: under the bid scheduler the whole roster places
+        # through per-template rule/bid/award rounds instead of one
+        # multicast solicitation per task
+        self.api.create_tasks(handle, specs)
         return handle

@@ -40,6 +40,7 @@ from .messages import Message, MessageType
 from .multicast import MulticastBus, Solicitation
 from .registry import TaskRegistry
 from .runmodel import RunModel
+from .scheduler import PlacementRule, award_bids
 from .taskmanager import TaskManager
 
 __all__ = ["JobManager", "FailureDetector"]
@@ -137,6 +138,12 @@ class JobManager:
         self.local_taskmanager = local_taskmanager
         self.jobs: dict[str, Job] = {}
         self._job_counter = 0
+        #: placement protocol: "solicit" (the paper's per-task multicast
+        #: solicit->respond, the default) or "bid" (rule-based bidding --
+        #: one rule per homogeneous batch, nodes score locally and bid,
+        #: awards are a deterministic pure fold; see repro.cn.scheduler)
+        self.scheduler = "solicit"
+        self._rule_counter = 0
         self._lock = make_lock("JobManager._lock")
         self._taskmanagers: dict[str, TaskManager] = {}
         self._shutdown = False
@@ -477,28 +484,61 @@ class JobManager:
 
     def create_task(self, job: Job, spec: TaskSpec) -> TaskRuntime:
         """Place one task: solicit TaskManagers, upload, create queue."""
-        runtime = job.add_task(spec)
+        return self.create_tasks(job, [spec])[0]
+
+    def create_tasks(self, job: Job, specs: Iterable[TaskSpec]) -> list[TaskRuntime]:
+        """Place a batch of tasks in one call.
+
+        Under the solicit scheduler this is exactly the per-task loop the
+        paper describes.  Under the bid scheduler tasks sharing a template
+        (jar, class, memory, runmodel) are placed through a single
+        rule/bid/award round instead of one solicitation each -- the whole
+        point of rule-based scheduling -- and the TASK_CREATED
+        notifications fan out through one ``route_many`` batch.
+        """
+        specs = list(specs)
+        runtimes: list[TaskRuntime] = []
         t = job.telemetry
-        if t is not None:
-            self._begin_task_span(t, job, spec.name, spec.depends)
-        # write-ahead: the spec is journaled before placement, so a
-        # successor knows the full roster even if we die mid-placement
-        job.journal_event("task-spec", {"spec": spec})
-        self._place(job, runtime)
-        if job.has_ledgered(spec.name):
-            # messages routed to this task before it had a queue (the
-            # placement window) were ledgered instead of raising at the
-            # sender; deliver them now that the queue exists
-            job.replay_into(spec.name)
-        job.route(
-            Message(
-                MessageType.TASK_CREATED,
-                sender=self.name,
-                recipient="client",
-                payload={"task": spec.name, "node": runtime.node_name},
+        for spec in specs:
+            runtime = job.add_task(spec)
+            if t is not None:
+                self._begin_task_span(t, job, spec.name, spec.depends)
+            # write-ahead: the spec is journaled before placement, so a
+            # successor knows the full roster even if we die mid-placement
+            job.journal_event("task-spec", {"spec": spec})
+            runtimes.append(runtime)
+        if self.scheduler == "bid" and len(runtimes) > 1:
+            groups: dict[tuple, list[TaskRuntime]] = {}
+            for runtime in runtimes:
+                spec = runtime.spec
+                if spec.runmodel is RunModel.RUN_IN_JOBMANAGER:
+                    # coordinator tasks stay local in both modes
+                    self._place(job, runtime)
+                    continue
+                key = (spec.jar, spec.cls, spec.memory, spec.runmodel)
+                groups.setdefault(key, []).append(runtime)
+            for group in groups.values():
+                self._place_group(job, group)
+        else:
+            for runtime in runtimes:
+                self._place(job, runtime)
+        notifications: list[Message] = []
+        for runtime in runtimes:
+            if job.has_ledgered(runtime.name):
+                # messages routed to this task before it had a queue (the
+                # placement window) were ledgered instead of raising at
+                # the sender; deliver them now that the queue exists
+                job.replay_into(runtime.name)
+            notifications.append(
+                Message(
+                    MessageType.TASK_CREATED,
+                    sender=self.name,
+                    recipient="client",
+                    payload={"task": runtime.name, "node": runtime.node_name},
+                )
             )
-        )
-        return runtime
+        job.route_many(notifications)
+        return runtimes
 
     def _place(self, job: Job, runtime: TaskRuntime) -> None:
         t = job.telemetry
@@ -511,6 +551,7 @@ class JobManager:
             self._place_inner(job, runtime)
         finally:
             counter.inc()
+            t.metrics.histogram("cn_placement_seconds").observe(t.now() - start)
             # epoch was bumped by host_task on success, so each effective
             # placement round gets a distinct span under the task span
             t.spans.record(
@@ -536,6 +577,12 @@ class JobManager:
                 "task-placed",
                 {"task": spec.name, "node": runtime.node_name, "epoch": runtime.epoch},
             )
+            return
+        if self.scheduler == "bid":
+            # the paper's protocol as the degenerate 1-task rule: retries
+            # and failover re-placement funnel through here, so every
+            # recovery path re-places from rules too
+            self._place_rule(job, [runtime])
             return
         offers = self.bus.solicit(
             Solicitation(
@@ -571,6 +618,129 @@ class JobManager:
             "task-placed",
             {"task": spec.name, "node": runtime.node_name, "epoch": runtime.epoch},
         )
+
+    def _place_group(self, job: Job, runtimes: list[TaskRuntime]) -> None:
+        """Telemetry wrapper around a batched rule placement (mirrors
+        :meth:`_place` for the per-task path)."""
+        t = job.telemetry
+        if t is None:
+            self._place_rule(job, runtimes)
+            return
+        start = t.now()
+        try:
+            self._place_rule(job, runtimes)
+        finally:
+            end = t.now()
+            t.metrics.counter("cn_placements_total", manager=self.name).inc(
+                len(runtimes)
+            )
+            t.metrics.histogram("cn_placement_seconds").observe(end - start)
+            for runtime in runtimes:
+                t.spans.record(
+                    job.job_id,
+                    f"place:{runtime.name}#{runtime.epoch}",
+                    start=start,
+                    end=end,
+                    name=f"place {runtime.name}",
+                    kind="place",
+                    parent_id=f"task:{runtime.name}",
+                    node=runtime.node_name,
+                    task=runtime.name,
+                    epoch=runtime.epoch,
+                )
+
+    def _place_rule(self, job: Job, runtimes: list[TaskRuntime]) -> None:
+        """Place a template-homogeneous batch through rule/bid/award.
+
+        One :class:`~repro.cn.scheduler.PlacementRule` describing the
+        whole batch is multicast; every node scores it locally (capacity,
+        free memory, load, archive/producer locality) and answers with a
+        single bid; :func:`~repro.cn.scheduler.award_bids` converts the
+        bids into awards deterministically.  Awards are epoch-fenced: the
+        task epoch only advances on a successful ``host_task``, so a node
+        that dies between bid and award simply fails the award and the
+        task re-enters the next bidding round -- a zombie attempt can
+        never double-place because its epoch never advanced.
+        """
+        spec0 = runtimes[0].spec
+        by_name = {rt.name: rt for rt in runtimes}
+        depends = tuple(sorted({d for rt in runtimes for d in rt.spec.depends}))
+        with self._lock:
+            self._rule_counter += 1
+            seq = self._rule_counter
+        t = job.telemetry
+        task_class = self.registry.resolve(spec0.jar, spec0.cls)  # "upload the JAR"
+        pending = [rt.name for rt in runtimes]
+        excluded: set[str] = set()  # bidders that failed an award this placement
+        round_no = 0
+        while pending:
+            round_no += 1
+            rule = PlacementRule(
+                rule_id=f"{job.job_id}/rule{seq}.{round_no}",
+                job_id=job.job_id,
+                manager=self.name,
+                jar=spec0.jar,
+                cls=spec0.cls,
+                memory=spec0.memory,
+                runmodel=spec0.runmodel.value,
+                tasks=tuple(pending),
+                depends=depends,
+                manager_epoch=job.manager_epoch,
+            )
+            responses = self.bus.solicit(
+                Solicitation(kind="rule", requirements={"rule": rule}, sender=self.name)
+            )
+            # a dead node's stale bid must not win an award, and a bidder
+            # that already failed an award this placement is distrusted
+            dead = self.failure_detector.dead_nodes()
+            bids = [
+                bid
+                for _, bid in responses
+                if bid.taskmanager not in dead and bid.taskmanager not in excluded
+            ]
+            if t is not None:
+                t.metrics.counter("cn_rules_published_total", manager=self.name).inc()
+                t.metrics.counter("cn_bids_total", manager=self.name).inc(len(bids))
+            awards, unplaced = award_bids(rule, bids)
+            if not awards:
+                raise NoWillingTaskManager(
+                    f"no TaskManager bid to host {pending!r} "
+                    f"(memory {spec0.memory}, runmodel {spec0.runmodel.value})"
+                )
+            if t is not None:
+                t.metrics.counter("cn_awards_total", manager=self.name).inc(
+                    len(awards)
+                )
+            failed: list[str] = []
+            for task_name, tm_name in awards:
+                runtime = by_name[task_name]
+                tm = self._tm_lookup(tm_name)
+                if tm is None:
+                    excluded.add(tm_name)
+                    failed.append(task_name)
+                    continue
+                try:
+                    tm.host_task(job, runtime, task_class)
+                except (ShutdownError, CnError):
+                    # killed (or filled up) between bid and award: exclude
+                    # the bidder and re-bid; the epoch fence makes this
+                    # safe against double placement
+                    excluded.add(tm_name)
+                    failed.append(task_name)
+                    continue
+                job.journal_event(
+                    "task-placed",
+                    {
+                        "task": task_name,
+                        "node": runtime.node_name,
+                        "epoch": runtime.epoch,
+                        "rule": rule.rule_id,
+                    },
+                )
+            # progress each round: either a task placed (pending shrinks)
+            # or a bidder was excluded (bid pool shrinks) -- and an empty
+            # award set raises above, so the loop terminates
+            pending = failed + unplaced
 
     # -- starting & DAG driving ------------------------------------------------------
     def start_task(self, job: Job, name: str, *, claim_only: bool = False) -> bool:

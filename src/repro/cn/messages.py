@@ -99,6 +99,13 @@ class MessageType:
     # resumed from an application checkpoint instead of from scratch
     MANAGER_ADOPTED = "MANAGER_ADOPTED"
     TASK_RESUMED = "TASK_RESUMED"
+    # decentralized scheduling (repository extension): a JobManager
+    # publishes a placement RULE describing a batch of homogeneous
+    # tasks, nodes answer with BIDs, and the manager AWARDs tasks to
+    # winning bidders (the paper's solicit is the degenerate 1-task rule)
+    RULE = "RULE"
+    BID = "BID"
+    AWARD = "AWARD"
 
     # application-defined payloads; CN is a pure delivery mechanism
     USER = "USER"
@@ -127,6 +134,14 @@ WELL_DEFINED: dict[str, tuple[str, tuple[str, ...]]] = {
         (MessageType.STATUS,),
     ),
     MessageType.SHUTDOWN: ("stop the component", ()),
+    MessageType.RULE: (
+        "expand candidates locally, score them, and submit a bid",
+        (MessageType.BID,),
+    ),
+    MessageType.AWARD: (
+        "host the awarded tasks and confirm placement",
+        (MessageType.TASK_CREATED,),
+    ),
 }
 
 
@@ -148,6 +163,7 @@ def is_well_defined(message_type: str) -> bool:
         MessageType.JOB_DEGRADED,
         MessageType.MANAGER_ADOPTED,
         MessageType.TASK_RESUMED,
+        MessageType.BID,
     }
 
 

@@ -25,6 +25,7 @@ Fault-tolerance extensions:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
@@ -48,7 +49,7 @@ def _node_of(name: str) -> str:
 class Solicitation:
     """A multicast request: what is being solicited and its requirements."""
 
-    kind: str  # "jobmanager" | "taskmanager"
+    kind: str  # "jobmanager" | "taskmanager" | "rule" (bid scheduler)
     requirements: dict
     sender: str
 
@@ -85,6 +86,9 @@ class MulticastBus:
         self._delivery_index = 0
         #: cluster Telemetry hub; set by Cluster wiring (None = no metrics)
         self.telemetry: Optional[Any] = None
+        #: per-solicitation latency histogram, bound once at wiring time
+        #: so the hot path pays one None-check when telemetry is off
+        self._solicit_hist: Optional[Any] = None
 
     def set_telemetry(self, telemetry: Optional[Any]) -> None:
         """Register a scrape-time collector that folds :class:`BusStats`
@@ -93,8 +97,10 @@ class MulticastBus:
         the same cost twice."""
         if telemetry is None or not telemetry.enabled:
             self.telemetry = None
+            self._solicit_hist = None
             return
         self.telemetry = telemetry
+        self._solicit_hist = telemetry.metrics.histogram("cn_solicit_seconds")
         telemetry.metrics.add_collector(self._collect_bus_stats)
 
     def _collect_bus_stats(self) -> None:
@@ -201,6 +207,8 @@ class MulticastBus:
         with self._lock:
             subscribers = list(self._subscribers)
         self.stats.solicitations += 1
+        hist = self._solicit_hist
+        start = time.perf_counter() if hist is not None else 0.0
         offers: list[tuple[str, Any]] = []
         for name, responder in subscribers:
             if not self.reachable(solicitation.sender, name):
@@ -217,6 +225,8 @@ class MulticastBus:
             if offer is not None:
                 self.stats.responses += 1
                 offers.append((name, offer))
+        if hist is not None:
+            hist.observe(time.perf_counter() - start)
         return offers
 
     def _chaos_drops(self, sender: str, receiver: str) -> bool:

@@ -15,7 +15,7 @@ wholesale when its node crashes or revives.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from .chaos import ChaosPolicy, VirtualClock
 from .durability import JobDirectory, ReplicatedJournal
@@ -51,6 +51,7 @@ class CNServer:
         queue_policy: str = "block",
         checksums: bool = False,
         transport: Optional[Transport] = None,
+        scheduler: str = "solicit",
     ) -> None:
         self.name = name
         self.bus = bus
@@ -81,6 +82,7 @@ class CNServer:
             retry_backoff=retry_backoff,
         )
         self.jobmanager.checksums = checksums
+        self.jobmanager.scheduler = scheduler
         self._subscribed = False
         #: this node's replica of the write-ahead job journal (durability
         #: extension); None until the Cluster attaches one
@@ -118,7 +120,7 @@ class CNServer:
         self.bus.attach_listener(self.name, self._on_event)
         self._subscribed = True
 
-    def _respond(self, solicitation: Solicitation) -> Optional[dict]:
+    def _respond(self, solicitation: Solicitation) -> Optional[Any]:
         if solicitation.kind == "jobmanager":
             if not self.accept_jobs:
                 return None
@@ -137,6 +139,14 @@ class CNServer:
                 "free_memory": self.taskmanager.free_memory,
                 "free_slots": self.taskmanager.free_slots,
             }
+        if solicitation.kind == "rule":
+            # decentralized scheduling: expand the rule locally and bid
+            if not self.accept_tasks:
+                return None
+            rule = solicitation.requirements.get("rule")
+            if rule is None:
+                return None
+            return self.taskmanager.compute_bid(rule)
         return None
 
     def _on_event(self, topic: str, payload: dict) -> None:

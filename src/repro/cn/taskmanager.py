@@ -34,6 +34,7 @@ from .job import Job, TaskRuntime, TaskState
 from .messages import Message, MessageType
 from .queues import MessageQueue
 from .runmodel import RunModel
+from .scheduler import Bid, PlacementRule
 from .task import Task, TaskContext
 from .transport.base import TaskExecutor
 from .transport.inproc import InlineExecutor
@@ -106,6 +107,9 @@ class TaskManager:
         self._memory_used = 0
         self._slots_used = 0
         self._hosted: dict[tuple[str, str], HostedTask] = {}
+        #: archives (JAR names) already unpacked on this node -- makes
+        #: the bid scheduler's "do I have this?" locality check O(1)
+        self._archive_cache: set = set()
         self._lock = make_lock("TaskManager._lock")
         self._shutdown = False
         self._crashed = False
@@ -142,6 +146,53 @@ class TaskManager:
             if runmodel.occupies_slot and self._slots_used >= self.slots:
                 return False
             return True
+
+    def compute_bid(self, rule: "PlacementRule") -> Optional["Bid"]:
+        """Score a placement rule locally and return this node's bid.
+
+        This is the decentralized half of the bid scheduler: the node --
+        not the JobManager -- expands the rule against its own state and
+        answers with how many of the rule's tasks it could take and how
+        good a home it would be.  Locality is O(1) per probe: archive
+        presence comes from :attr:`_archive_cache` and upstream-producer
+        presence from the ``_hosted`` map.  Returns None when the node
+        cannot take any task from the rule (the solicit scheduler's
+        "no offer").
+        """
+        runmodel = RunModel.parse(rule.runmodel)
+        with self._lock:
+            if self._shutdown or self._crashed:
+                return None
+            if not self.executor.healthy():
+                return None
+            free_mem = self.memory_capacity - self._memory_used
+            if rule.memory > free_mem:
+                return None
+            if rule.memory > 0:
+                capacity = min(rule.count, free_mem // rule.memory)
+            else:
+                capacity = rule.count
+            if runmodel.occupies_slot:
+                free_slots = self.slots - self._slots_used
+                if free_slots <= 0:
+                    return None
+                capacity = min(capacity, free_slots)
+            if capacity <= 0:
+                return None
+            load = sum(
+                1 for h in self._hosted.values() if not h.runtime.state.terminal
+            )
+            locality = 1 if rule.jar in self._archive_cache else 0
+            for dep in rule.depends:
+                if (rule.job_id, dep) in self._hosted:
+                    locality += 1
+            return Bid(
+                taskmanager=self.name,
+                capacity=capacity,
+                free_memory=free_mem,
+                load=load,
+                locality=locality,
+            )
 
     # -- liveness --------------------------------------------------------------
     def beat(self) -> Optional[dict]:
@@ -190,6 +241,7 @@ class TaskManager:
             self._memory_used = 0
             self._slots_used = 0
             self._hosted.clear()
+            self._archive_cache.clear()
 
     # -- hosting --------------------------------------------------------------
     def host_task(self, job: Job, runtime: TaskRuntime, task_class: Type[Task]) -> None:
@@ -230,6 +282,7 @@ class TaskManager:
             runtime.node_name = self.name
             runtime.state = TaskState.CREATED
             runtime.epoch += 1
+            self._archive_cache.add(runtime.spec.jar)
             self._hosted[(job.job_id, runtime.name)] = HostedTask(
                 job, runtime, task_class, runtime.epoch
             )

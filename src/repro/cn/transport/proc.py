@@ -250,6 +250,8 @@ class WorkerHandle:
                 self._on_metric(data)
             elif op == "event":
                 self._on_event(data)
+            elif op == "batch":
+                self._on_batch(data)
         self._fail_outstanding("worker connection closed")
 
     def _on_outcome(self, data: dict) -> None:
@@ -340,6 +342,22 @@ class WorkerHandle:
         if state is None:
             return
         state.context.event(data["name"], **data["attrs"])
+
+    def _on_batch(self, data: dict) -> None:
+        """A coalesced telemetry batch: N metric/event frames that
+        crossed the wire as one (worker-side buffering)."""
+        frames = data["frames"]
+        for op, frame in frames:
+            if op == "metric":
+                self._on_metric(frame)
+            elif op == "event":
+                self._on_event(frame)
+        if len(frames) > 1:
+            telemetry = self.transport.telemetry()
+            if telemetry is not None:
+                telemetry.metrics.namespaced(self.node).counter(
+                    "cn_transport_frames_coalesced_total"
+                ).inc(len(frames) - 1)
 
     # -- plumbing ---------------------------------------------------------------
     def _send(self, op: str, data: dict) -> None:

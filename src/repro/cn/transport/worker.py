@@ -183,6 +183,14 @@ class WorkerRuntime:
         self._rpc_seq = 0
         self._rpc_waits: dict[int, list] = {}  # rpc_id -> [Event, ok, value]
         self._stopping = False
+        #: metric/event frames buffered for coalescing; flushed whenever
+        #: the buffer reaches :attr:`flush_threshold` frames, and always
+        #: before the attempt's outcome frame (so the coordinator's
+        #: registry observes every metric an outcome implies) and at
+        #: shutdown.  Telemetry frames are fire-and-forget, so delaying
+        #: them is safe; rpc/outcome/route frames are never buffered.
+        self._frame_buffer: list[tuple[str, dict]] = []
+        self.flush_threshold = 32
 
     # -- outbound helpers (any thread) -----------------------------------------
     def _send(self, op: str, data: dict) -> None:
@@ -192,16 +200,39 @@ class WorkerRuntime:
             # the coordinator is gone; the process is about to exit anyway
             pass  # conclint: waive CC303 -- orphaned worker, nothing to notify
 
+    def _buffer_frame(self, op: str, data: dict) -> None:
+        """Queue a telemetry frame, coalescing chatter into one wire
+        frame per ``flush_threshold`` instead of one frame each."""
+        with self._lock:
+            self._frame_buffer.append((op, data))
+            if len(self._frame_buffer) < self.flush_threshold:
+                return
+            frames = self._frame_buffer
+            self._frame_buffer = []
+        self._send("batch", {"frames": frames})
+
+    def flush_frames(self) -> None:
+        """Drain buffered telemetry frames to the coordinator now."""
+        with self._lock:
+            frames = self._frame_buffer
+            self._frame_buffer = []
+        if not frames:
+            return
+        if len(frames) == 1:
+            self._send(*frames[0])
+        else:
+            self._send("batch", {"frames": frames})
+
     def send_metric(
         self, exec_id: str, name: str, labels: dict, amount: float
     ) -> None:
-        self._send(
+        self._buffer_frame(
             "metric",
             {"exec_id": exec_id, "name": name, "labels": labels, "amount": amount},
         )
 
     def send_event(self, exec_id: str, name: str, attrs: dict) -> None:
-        self._send("event", {"exec_id": exec_id, "name": name, "attrs": attrs})
+        self._buffer_frame("event", {"exec_id": exec_id, "name": name, "attrs": attrs})
 
     def rpc(self, exec_id: Optional[str], op: str, *args: Any) -> Any:
         """Synchronous request to the coordinator; raises what the
@@ -246,6 +277,7 @@ class WorkerRuntime:
         self._shutdown()
 
     def _shutdown(self) -> None:
+        self.flush_frames()
         with self._lock:
             self._stopping = True
             execs = list(self._execs.values())
@@ -336,6 +368,9 @@ class WorkerRuntime:
             outcome = {"exec_id": ex.exec_id, "ok": True, "result": result}
         with self._lock:
             self._execs.pop(ex.exec_id, None)
+        # attempt-end barrier: buffered metric/event frames must land
+        # before the outcome they causally precede
+        self.flush_frames()
         self._send("outcome", outcome)
 
     def _deliver(self, data: dict) -> None:
